@@ -1,0 +1,168 @@
+// Command diagnet-agent is the deployable client-side agent: it
+// periodically probes live landmark servers (landmarkd instances), times a
+// monitored service URL as its QoE signal, and submits the measurement
+// snapshot to a diagnetd analysis service whenever the load time degrades
+// against its own history.
+//
+// Usage:
+//
+//	diagnet-agent -landmarks http://lm1:8420,http://lm2:8420 \
+//	              -landmark-regions 2,4 \
+//	              -service-url https://example.org \
+//	              -analysis http://diagnetd:8421 \
+//	              [-service-id 0] [-interval 30s]
+//
+// -landmark-regions maps each probed landmark to its region index in the
+// model's world, in the same order as -landmarks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"diagnet"
+	"diagnet/internal/analysis"
+	"diagnet/internal/landmark"
+)
+
+func main() {
+	landmarksFlag := flag.String("landmarks", "", "comma-separated landmark base URLs")
+	regionsFlag := flag.String("landmark-regions", "", "comma-separated region indices, one per landmark")
+	serviceURL := flag.String("service-url", "", "URL whose load time is the QoE signal")
+	analysisURL := flag.String("analysis", "", "diagnetd base URL")
+	serviceID := flag.Int("service-id", -1, "service ID for specialized-model routing")
+	interval := flag.Duration("interval", 30*time.Second, "probing interval")
+	degradeRatio := flag.Float64("degrade-ratio", 1.5, "QoE degradation threshold vs median load time")
+	rounds := flag.Int("rounds", 0, "stop after N rounds (0 = run forever)")
+	flag.Parse()
+
+	urls := splitNonEmpty(*landmarksFlag)
+	if len(urls) == 0 || *serviceURL == "" || *analysisURL == "" {
+		log.Fatal("need -landmarks, -service-url and -analysis")
+	}
+	regions, err := parseInts(*regionsFlag)
+	if err != nil || len(regions) != len(urls) {
+		log.Fatalf("-landmark-regions must list one region index per landmark (%d given for %d landmarks)", len(regions), len(urls))
+	}
+
+	prober := diagnet.NewProber(diagnet.ProberConfig{})
+	client := analysis.NewClient(*analysisURL)
+	var history []float64
+
+	for round := 0; *rounds == 0 || round < *rounds; round++ {
+		start := time.Now()
+		ms := make([]landmark.Measurement, 0, len(urls))
+		failed := false
+		for _, url := range urls {
+			m, err := prober.Probe(context.Background(), url)
+			if err != nil {
+				log.Printf("probe %s: %v", url, err)
+				failed = true
+				break
+			}
+			ms = append(ms, m)
+		}
+		if failed {
+			sleepRemainder(start, *interval)
+			continue
+		}
+
+		loadMs, err := timePageLoad(*serviceURL)
+		if err != nil {
+			log.Printf("QoE fetch: %v", err)
+			sleepRemainder(start, *interval)
+			continue
+		}
+		degraded := false
+		if len(history) >= 5 {
+			if med := median(history); loadMs > med**degradeRatio {
+				degraded = true
+			}
+		}
+		log.Printf("round %d: %d landmarks probed, page load %.0f ms, degraded=%v", round, len(ms), loadMs, degraded)
+
+		if degraded {
+			features := landmark.Features(ms, nil, landmark.LocalMetrics{})
+			resp, err := client.Diagnose(context.Background(), &analysis.DiagnoseRequest{
+				ServiceID: *serviceID,
+				Landmarks: regions,
+				Features:  features,
+				TopK:      5,
+			})
+			if err != nil {
+				log.Printf("diagnosis failed: %v", err)
+			} else {
+				log.Printf("diagnosis: family=%s", resp.Family)
+				for i, c := range resp.Causes {
+					log.Printf("  %d. %s (%s) score %.3f", i+1, c.Name, c.Family, c.Score)
+				}
+			}
+		} else {
+			history = append(history, loadMs)
+			if len(history) > 96 {
+				history = history[1:]
+			}
+		}
+		sleepRemainder(start, *interval)
+	}
+}
+
+// timePageLoad fetches a URL and returns the wall-clock duration in ms.
+func timePageLoad(url string) (float64, error) {
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode >= 400 {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitNonEmpty(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func sleepRemainder(start time.Time, interval time.Duration) {
+	if rest := interval - time.Since(start); rest > 0 {
+		time.Sleep(rest)
+	}
+}

@@ -1,0 +1,61 @@
+// Command diagnet-datagen generates a labeled dataset from the simulated
+// multi-cloud deployment and writes it to a file for diagnet-train /
+// diagnet-eval.
+//
+// Usage:
+//
+//	diagnet-datagen -out data.gob [-nominal 4000] [-faulty 7000] [-seed 11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"diagnet"
+)
+
+func main() {
+	out := flag.String("out", "dataset.gob", "output file")
+	csvOut := flag.String("csv", "", "also export the samples as CSV to this path")
+	nominal := flag.Int("nominal", 4000, "approximate number of fault-free samples")
+	faulty := flag.Int("faulty", 7000, "approximate number of fault-scenario samples")
+	seed := flag.Int64("seed", 11, "generation seed")
+	worldSeed := flag.Int64("world-seed", 1, "world topology seed")
+	anomalies := flag.Bool("background-anomalies", false, "enable spurious background link anomalies (§II-B)")
+	flag.Parse()
+
+	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: *worldSeed, BackgroundAnomalies: *anomalies})
+	data := diagnet.Generate(diagnet.GenConfig{
+		World:          world,
+		NominalSamples: *nominal,
+		FaultSamples:   *faulty,
+		Seed:           *seed,
+	})
+	c := data.Count(diagnet.HiddenLandmarks())
+	fmt.Fprintf(os.Stderr, "generated %d samples: %d nominal, %d degraded (%d near hidden landmarks)\n",
+		c.Total, c.Nominal, c.Degraded, c.HiddenFaultDegraded)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := data.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cf.Close()
+		if err := data.ExportCSV(cf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvOut)
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"diagnet/internal/experiments"
+	"diagnet/internal/probe"
+)
+
+// TestDebugConfusion prints the coarse confusion matrices (diagnostic).
+func TestDebugConfusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	lab := experiments.NewLab(experiments.Quick(), nil)
+	r := lab.Fig7()
+	fmt.Println("KNOWN confusion (rows=truth, cols=pred):")
+	for truth := 0; truth < int(probe.NumFamilies); truth++ {
+		fmt.Printf("%-10s", probe.Family(truth))
+		for pred := 0; pred < int(probe.NumFamilies); pred++ {
+			fmt.Printf("%5d", r.ConfusionKno.Counts[truth][pred])
+		}
+		fmt.Println()
+	}
+	fmt.Println("NEW confusion:")
+	for truth := 0; truth < int(probe.NumFamilies); truth++ {
+		fmt.Printf("%-10s", probe.Family(truth))
+		for pred := 0; pred < int(probe.NumFamilies); pred++ {
+			fmt.Printf("%5d", r.ConfusionNew.Counts[truth][pred])
+		}
+		fmt.Println()
+	}
+}

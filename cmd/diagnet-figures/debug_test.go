@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"diagnet/internal/experiments"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+// TestDebugAttention is a diagnostic aid, not a regression test: it prints
+// how the pipeline scores a few hidden-landmark faults.
+func TestDebugAttention(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	lab := experiments.NewLab(experiments.Quick(), nil)
+	deg := lab.Test.Degraded()
+	regions := netsim.DefaultRegions()
+	shown := 0
+	for i := range deg.Samples {
+		s := &deg.Samples[i]
+		if !lab.IsNewFault(s) || shown >= 6 {
+			continue
+		}
+		shown++
+		m := lab.ModelFor(s.Service)
+		diag := m.Diagnose(s.Features, lab.Full)
+		fmt.Printf("=== true cause %s (fault %v@%s, svc %d client %s)\n",
+			lab.Full.FeatureName(s.Cause), netsim.FaultKind(s.FaultKind),
+			regions[s.FaultRegion].Name, s.Service, regions[s.Client].Name)
+		fmt.Printf("coarse: ")
+		for f := probe.Family(0); f < probe.NumFamilies; f++ {
+			fmt.Printf("%s=%.2f ", f, diag.Coarse[f])
+		}
+		fmt.Printf("(true %s)  wU=%.3f\n", s.Family, diag.UnknownWeight)
+		type fs struct {
+			j int
+			v float64
+		}
+		var att, fin []fs
+		for j := range diag.Attention {
+			att = append(att, fs{j, diag.Attention[j]})
+			fin = append(fin, fs{j, diag.Final[j]})
+		}
+		sort.Slice(att, func(a, b int) bool { return att[a].v > att[b].v })
+		sort.Slice(fin, func(a, b int) bool { return fin[a].v > fin[b].v })
+		fmt.Printf("top attention: ")
+		for _, e := range att[:6] {
+			fmt.Printf("%s=%.3f ", lab.Full.FeatureName(e.j), e.v)
+		}
+		fmt.Printf("\ntop final:     ")
+		for _, e := range fin[:6] {
+			fmt.Printf("%s=%.3f ", lab.Full.FeatureName(e.j), e.v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,123 @@
+// Command diagnet-figures regenerates the tables and figures of the
+// DiagNet paper's evaluation section on the simulated deployment and
+// prints them as text reports.
+//
+// Usage:
+//
+//	diagnet-figures [-profile quick|default|paper] [-fig 5|6|7|8|9|10|ablation|all] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"diagnet/internal/experiments"
+)
+
+func main() {
+	profileName := flag.String("profile", "default", "experiment profile: quick, default or paper")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablation or all")
+	outDir := flag.String("out", "", "optional directory to also write per-figure reports to")
+	flag.Parse()
+
+	var profile experiments.Profile
+	switch *profileName {
+	case "quick":
+		profile = experiments.Quick()
+	case "default":
+		profile = experiments.Default()
+	case "paper":
+		profile = experiments.Paper()
+	default:
+		log.Fatalf("unknown profile %q", *profileName)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	var lab *experiments.Lab
+	needLab := all || want["5"] || want["6"] || want["7"] || want["8"] ||
+		want["9"] || want["10"] || want["ablation"] || want["hyper"] ||
+		want["availability"] || want["perservice"]
+	if needLab {
+		lab = experiments.NewLab(profile, logf)
+	}
+
+	emit := func(name, report, csv string) {
+		fmt.Printf("==== %s (profile %s) ====\n%s\n", name, profile.Name, report)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(report), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(csv), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if all || want["5"] {
+		r := lab.Fig5()
+		emit("fig5", r.String(), r.CSV())
+	}
+	if all || want["6"] {
+		r := lab.Fig6()
+		emit("fig6", r.String(), r.CSV())
+	}
+	if all || want["7"] {
+		r := lab.Fig7()
+		emit("fig7", r.String(), r.CSV())
+	}
+	if all || want["8"] {
+		r := lab.Fig8()
+		emit("fig8", r.String(), r.CSV())
+	}
+	if all || want["9"] {
+		r := lab.Fig9()
+		emit("fig9", r.String(), r.CSV())
+	}
+	if all || want["10"] {
+		r := lab.Fig10()
+		emit("fig10", r.String(), r.CSV())
+	}
+	if all || want["ablation"] {
+		r := lab.Ablation()
+		emit("ablation", r.String(), r.CSV())
+	}
+	// The hyperparameter sweep retrains the general model per variant and
+	// is not part of -fig all; request it explicitly.
+	if want["hyper"] {
+		r := lab.Hyperparams()
+		emit("hyper", r.String(), r.CSV())
+	}
+	if want["availability"] {
+		r := lab.Availability()
+		emit("availability", r.String(), r.CSV())
+	}
+	if want["perservice"] {
+		r := lab.PerService()
+		emit("perservice", r.String(), r.CSV())
+	}
+	// The disentanglement study builds two extra pipelines; explicit only.
+	if want["disentangle"] {
+		r := experiments.Disentangle(profile, logf)
+		emit("disentangle", r.String(), r.CSV())
+	}
+	// The robustness study builds one pipeline per seed; explicit only.
+	if want["seeds"] {
+		r := experiments.Robustness(profile, 3, logf)
+		emit("seeds", r.String(), r.CSV())
+	}
+}

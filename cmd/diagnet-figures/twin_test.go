@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"diagnet/internal/experiments"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+// TestDebugTwinFaults compares coarse predictions for identical faults
+// injected at a known (BEAU) vs hidden (GRAV) region — the pooled
+// representation is position-free, so they should classify alike.
+func TestDebugTwinFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	lab := experiments.NewLab(experiments.Quick(), nil)
+	prober := probe.Prober{W: lab.World}
+	m := lab.General.Model
+	for _, kind := range []netsim.FaultKind{netsim.FaultLoss, netsim.FaultJitter, netsim.FaultServiceDelay, netsim.FaultRate} {
+		for _, region := range []int{netsim.BEAU, netsim.GRAV, netsim.SING, netsim.SEAT} {
+			env := netsim.Env{Tick: 40, Faults: []netsim.Fault{netsim.NewFault(kind, region)}}
+			x := prober.Sample(netsim.LOND, lab.Full, env, nil)
+			probs := m.CoarsePredict(x, lab.Full)
+			best, second := 0, 0
+			for k := range probs {
+				if probs[k] > probs[best] {
+					second, best = best, k
+				}
+			}
+			fmt.Printf("%-14s @%s -> %s=%.2f (2nd %s=%.2f)\n", kind,
+				netsim.DefaultRegions()[region].Name,
+				probe.Family(best), probs[best], probe.Family(second), probs[second])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command diagnet-train trains a general DiagNet model (and optionally
+// per-service specialized models) on a dataset produced by
+// diagnet-datagen, then writes the model(s) to disk.
+//
+// Usage:
+//
+//	diagnet-train -data data.gob -out model.gob [-specialize] [-epochs 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"diagnet"
+)
+
+func main() {
+	dataPath := flag.String("data", "dataset.gob", "dataset file from diagnet-datagen")
+	out := flag.String("out", "model.gob", "output model file (general model)")
+	specialize := flag.Bool("specialize", false, "also train per-service specialized models next to -out")
+	bundle := flag.String("bundle", "", "write general + specialized models as one bundle file")
+	epochs := flag.Int("epochs", 0, "override training epochs (0 = Table I default)")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Parse()
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := diagnet.LoadDataset(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train, test := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
+	fmt.Fprintf(os.Stderr, "training on %d samples (%d held out for testing)\n", train.Len(), test.Len())
+
+	cfg := diagnet.DefaultConfig()
+	cfg.Seed = *seed
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
+	fmt.Fprintf(os.Stderr, "general model trained: %d epochs, final val loss %.4f\n",
+		res.History.Epochs(), last(res.History.ValLoss))
+	if err := writeModel(res.Model, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *specialize {
+		base := strings.TrimSuffix(*out, filepath.Ext(*out))
+		for _, svc := range diagnet.Catalog() {
+			if train.FilterService(svc.ID).Len() == 0 {
+				continue
+			}
+			spec := res.Model.Specialize(train, svc.ID)
+			path := fmt.Sprintf("%s.svc%d.gob", base, svc.ID)
+			if err := writeModel(spec.Model, path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s, %d epochs)\n", path, svc.Name(), spec.History.Epochs())
+		}
+	}
+
+	if *bundle != "" {
+		b := diagnet.NewBundle(res.Model)
+		var ids []int
+		for _, svc := range diagnet.Catalog() {
+			ids = append(ids, svc.ID)
+		}
+		b.SpecializeAll(train, ids)
+		f, err := os.Create(*bundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := b.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote bundle %s (%d specialized models)\n", *bundle, len(b.Specialized))
+	}
+}
+
+func writeModel(m *diagnet.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

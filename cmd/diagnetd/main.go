@@ -1,0 +1,88 @@
+// Command diagnetd serves the root-cause analysis service (Fig. 1): it
+// loads a general model (plus optional per-service specialized models)
+// trained by diagnet-train and answers diagnosis requests over HTTP.
+//
+// Usage:
+//
+//	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
+//
+// API:
+//
+//	POST /v1/diagnose  {"service_id":0,"landmarks":[0,1,...],"features":[...]}
+//	GET  /v1/model
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"diagnet"
+	"diagnet/internal/analysis"
+)
+
+func main() {
+	addr := flag.String("addr", ":8421", "listen address")
+	modelPath := flag.String("model", "model.gob", "general model file")
+	bundlePath := flag.String("bundle", "", "bundle file (general + specialized); overrides -model")
+	specialized := flag.String("specialized", "", "comma-separated specialized model files")
+	flag.Parse()
+
+	var srv *analysis.Server
+	if *bundlePath != "" {
+		f, err := os.Open(*bundlePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := diagnet.LoadBundle(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = analysis.NewServer(b.General)
+		for id, m := range b.Specialized {
+			srv.SetSpecialized(id, m)
+		}
+		log.Printf("loaded bundle with %d specialized models", len(b.Specialized))
+	} else {
+		general, err := loadModel(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = analysis.NewServer(general)
+	}
+	if *specialized != "" {
+		for _, path := range strings.Split(*specialized, ",") {
+			m, err := loadModel(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.ServiceID < 0 {
+				log.Fatalf("%s is not a specialized model", path)
+			}
+			srv.SetSpecialized(m.ServiceID, m)
+			log.Printf("loaded specialized model for service %d from %s", m.ServiceID, path)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("analysis service on %s (POST /v1/diagnose)", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+func loadModel(path string) (*diagnet.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return diagnet.Load(f)
+}

@@ -1,0 +1,96 @@
+// Command landmark-bench load-tests a landmark server: it runs N
+// concurrent probers for a duration and reports probe-latency percentiles
+// and aggregate throughput — the capacity-planning companion of landmarkd
+// (the paper notes landmark availability varies with "saturated capacity").
+//
+// Usage:
+//
+//	landmark-bench -target http://lm:8420 [-concurrency 8] [-duration 10s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"diagnet"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8420", "landmark base URL")
+	concurrency := flag.Int("concurrency", 8, "concurrent probers")
+	duration := flag.Duration("duration", 10*time.Second, "test duration")
+	downloadKB := flag.Int64("download-kb", 256, "download payload per probe (KiB)")
+	uploadKB := flag.Int64("upload-kb", 128, "upload payload per probe (KiB)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	type result struct {
+		latency time.Duration
+		bytes   int64
+		err     error
+	}
+	var mu sync.Mutex
+	var results []result
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prober := diagnet.NewProber(diagnet.ProberConfig{
+				Pings:         3,
+				DownloadBytes: *downloadKB << 10,
+				UploadBytes:   *uploadKB << 10,
+			})
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				_, err := prober.Probe(ctx, *target)
+				r := result{latency: time.Since(t0), bytes: (*downloadKB + *uploadKB) << 10, err: err}
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, failed int
+	var latencies []time.Duration
+	var bytes int64
+	for _, r := range results {
+		if r.err != nil {
+			if ctx.Err() != nil {
+				continue // cancellation artifacts at the deadline
+			}
+			failed++
+			continue
+		}
+		ok++
+		latencies = append(latencies, r.latency)
+		bytes += r.bytes
+	}
+	if ok == 0 {
+		log.Fatalf("no successful probes (%d failed)", failed)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	fmt.Printf("target        %s\n", *target)
+	fmt.Printf("duration      %v, concurrency %d\n", elapsed.Round(time.Millisecond), *concurrency)
+	fmt.Printf("probes        %d ok, %d failed (%.1f probes/s)\n", ok, failed, float64(ok)/elapsed.Seconds())
+	fmt.Printf("probe latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Printf("payload       %.1f MB moved (%.1f Mbit/s aggregate)\n",
+		float64(bytes)/1e6, float64(bytes)*8/1e6/elapsed.Seconds())
+}

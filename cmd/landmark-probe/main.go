@@ -1,0 +1,47 @@
+// Command landmark-probe measures one or more landmark servers from this
+// client and prints the per-landmark metric vector — the live counterpart
+// of the simulator's probing plane.
+//
+// Usage:
+//
+//	landmark-probe http://lm1:8420 http://lm2:8420 ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"diagnet"
+)
+
+func main() {
+	pings := flag.Int("pings", 7, "RTT samples per landmark")
+	downloadKB := flag.Int64("download-kb", 2048, "download payload size (KiB)")
+	uploadKB := flag.Int64("upload-kb", 1024, "upload payload size (KiB)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-landmark timeout")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: landmark-probe [flags] URL...")
+		os.Exit(2)
+	}
+	prober := diagnet.NewProber(diagnet.ProberConfig{
+		Pings:         *pings,
+		DownloadBytes: *downloadKB << 10,
+		UploadBytes:   *uploadKB << 10,
+		Timeout:       *timeout,
+	})
+	fmt.Printf("%-32s %10s %10s %12s %12s\n", "landmark", "rtt(ms)", "jitter(ms)", "down(Mbps)", "up(Mbps)")
+	for _, url := range flag.Args() {
+		m, err := prober.Probe(context.Background(), url)
+		if err != nil {
+			log.Printf("%s: %v", url, err)
+			continue
+		}
+		fmt.Printf("%-32s %10.2f %10.2f %12.1f %12.1f\n", url, m.RTTMs, m.JitterMs, m.DownMbps, m.UpMbps)
+	}
+}

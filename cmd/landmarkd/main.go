@@ -1,0 +1,32 @@
+// Command landmarkd runs a stateless landmark HTTP server (§III-A): the
+// public measurement endpoint clients probe for RTT, throughput and
+// statistics. Deploy one per vantage point.
+//
+// Usage:
+//
+//	landmarkd [-addr :8420]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"diagnet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8420", "listen address")
+	maxTransfers := flag.Int("max-transfers", 0, "cap concurrent downloads/uploads (0 = unlimited)")
+	flag.Parse()
+
+	lm := diagnet.LandmarkServer{MaxConcurrentTransfers: *maxTransfers}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           lm.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("landmark serving on %s (endpoints: /ping /download /upload /stats)", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,80 @@
+// Agent: the full Fig. 1 loop in one process — a trained model served by
+// the central analysis service over HTTP, and a client-side collector
+// agent that probes periodically, detects a QoE degradation, and submits
+// its measurement snapshot for diagnosis.
+//
+//	go run ./examples/agent
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"diagnet"
+	"diagnet/internal/analysis"
+	"diagnet/internal/collector"
+	"diagnet/internal/netsim"
+	"diagnet/internal/services"
+)
+
+func main() {
+	// Train a small general model on the simulated deployment.
+	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
+	data := diagnet.Generate(diagnet.GenConfig{
+		World: world, NominalSamples: 800, FaultSamples: 1800, Seed: 11,
+	})
+	train, _ := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
+	cfg := diagnet.DefaultConfig()
+	cfg.Filters = 8
+	cfg.Hidden = []int{48, 24}
+	cfg.Epochs = 10
+	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
+
+	// Serve it as the central analysis service.
+	srv := analysis.NewServer(res.Model)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := analysis.NewClient(ts.URL)
+	fmt.Println("analysis service on", ts.URL)
+
+	// A client in AMST watches image.local@GRAV. A loss fault hits GRAV
+	// from tick 60 on.
+	layout := diagnet.FullLayout()
+	svc := services.Service{ID: 0, Kind: services.ImageLocal, Host: netsim.GRAV}
+	source := collector.NewSimSource(world, netsim.AMST, svc, layout, func(tick int64) []netsim.Fault {
+		if tick >= 60 {
+			return []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.GRAV)}
+		}
+		return nil
+	}, 5)
+	agent := collector.NewAgent(source, layout.NumFeatures(), collector.Config{Warmup: 12, ZThreshold: 4})
+
+	// Probe 70 rounds; report the first degradation to the service.
+	for tick := int64(0); tick < 70; tick++ {
+		ev, degraded := agent.Step(tick)
+		if !degraded {
+			continue
+		}
+		fmt.Printf("\ntick %d: QoE degraded — local pre-filter flags:", ev.Tick)
+		for _, j := range ev.Anomalies {
+			fmt.Printf(" %s", layout.FeatureName(j))
+		}
+		fmt.Println()
+		resp, err := client.Diagnose(context.Background(), &analysis.DiagnoseRequest{
+			ServiceID: svc.ID,
+			Landmarks: layout.Landmarks,
+			Features:  ev.Features,
+			TopK:      3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("analysis service says: family=%s (w_unknown=%.2f)\n", resp.Family, resp.UnknownWeight)
+		for i, c := range resp.Causes {
+			fmt.Printf("  %d. %-14s (%s) score %.3f\n", i+1, c.Name, c.Family, c.Score)
+		}
+		break
+	}
+}

@@ -1,0 +1,60 @@
+// Extensibility: the same trained model consumes measurements from
+// landmark sets it never saw during training — more landmarks (root causes
+// at new vantage points become expressible) or fewer (landmark outages).
+//
+//	go run ./examples/extensibility
+package main
+
+import (
+	"fmt"
+
+	"diagnet"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+func main() {
+	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
+	data := diagnet.Generate(diagnet.GenConfig{
+		World:          world,
+		NominalSamples: 800,
+		FaultSamples:   1800,
+		Seed:           11,
+	})
+	train, _ := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
+
+	cfg := diagnet.DefaultConfig()
+	cfg.Filters = 8
+	cfg.Hidden = []int{48, 24}
+	cfg.Epochs = 10
+	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
+	model := res.Model
+	fmt.Printf("model trained on landmarks: %v\n", diagnet.KnownRegions())
+
+	// Inject a loss fault at GRAV — a landmark hidden during training —
+	// and measure with the FULL landmark set.
+	env := diagnet.Env{Tick: 42, Faults: []diagnet.Fault{diagnet.NewFault(diagnet.FaultLoss, netsim.GRAV)}}
+	prober := probe.Prober{W: world}
+	full := diagnet.FullLayout()
+	x := prober.Sample(netsim.LOND, full, env, nil)
+	diag := model.Diagnose(x, full)
+	trueCause, _ := full.CauseOf(env.Faults[0])
+	fmt.Printf("\nwith 10 landmarks (3 unseen in training):\n")
+	fmt.Printf("  coarse family: %v, attention mass on unseen landmarks w_U = %.2f\n",
+		diag.Family, diag.UnknownWeight)
+	fmt.Printf("  top cause: %s (true: %s)\n",
+		full.FeatureName(diag.Ranked()[0]), full.FeatureName(trueCause))
+
+	// Now only four landmarks respond (maintenance, outages, probing
+	// budget). The very same model still produces a ranking over the
+	// causes that remain expressible.
+	few := diagnet.NewLayout([]int{netsim.LOND, netsim.AMST, netsim.SING, netsim.GRAV})
+	xf := prober.Sample(netsim.LOND, few, env, nil)
+	diagF := model.Diagnose(xf, few)
+	fmt.Printf("\nwith only 4 landmarks available:\n")
+	fmt.Printf("  coarse family: %v\n", diagF.Family)
+	fmt.Println("  top 3 causes:")
+	for i, j := range diagF.Ranked()[:3] {
+		fmt.Printf("    %d. %-14s score %.3f\n", i+1, few.FeatureName(j), diagF.Final[j])
+	}
+}

@@ -1,0 +1,67 @@
+// Specialization: derive per-service models from a general one by
+// freezing the convolution and retraining only the final layers (§IV-F).
+// Specialized models converge in a few epochs and sharpen diagnoses for
+// their service.
+//
+//	go run ./examples/specialization
+package main
+
+import (
+	"fmt"
+
+	"diagnet"
+)
+
+func main() {
+	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
+	data := diagnet.Generate(diagnet.GenConfig{
+		World:          world,
+		NominalSamples: 800,
+		FaultSamples:   1800,
+		Seed:           11,
+	})
+	train, test := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
+
+	cfg := diagnet.DefaultConfig()
+	cfg.Filters = 8
+	cfg.Hidden = []int{48, 24}
+	cfg.Epochs = 10
+	general := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
+	total, _ := general.Model.ParamCount()
+	fmt.Printf("general model: %d parameters, %d epochs\n", total, general.History.Epochs())
+
+	// Specialize for every service that has training data.
+	fmt.Println("\nper-service specialization (frozen convolution):")
+	specialized := map[int]*diagnet.Model{}
+	for _, svc := range diagnet.Catalog() {
+		if train.FilterService(svc.ID).Len() == 0 {
+			continue
+		}
+		res := general.Model.Specialize(train, svc.ID)
+		specialized[svc.ID] = res.Model
+		_, trainable := res.Model.ParamCount()
+		fmt.Printf("  %-16s %d trainable of %d params, %d epochs\n",
+			svc.Name(), trainable, total, res.History.Epochs())
+	}
+
+	// Compare general vs specialized top-1 hit rate on degraded samples.
+	layout := diagnet.FullLayout()
+	deg := test.Degraded()
+	var hitG, hitS, n int
+	for i := range deg.Samples {
+		s := &deg.Samples[i]
+		spec, ok := specialized[s.Service]
+		if !ok {
+			continue
+		}
+		n++
+		if general.Model.Diagnose(s.Features, layout).Ranked()[0] == s.Cause {
+			hitG++
+		}
+		if spec.Diagnose(s.Features, layout).Ranked()[0] == s.Cause {
+			hitS++
+		}
+	}
+	fmt.Printf("\nRecall@1 on %d degraded test samples: general %.1f%%, specialized %.1f%%\n",
+		n, 100*float64(hitG)/float64(n), 100*float64(hitS)/float64(n))
+}

@@ -1,0 +1,3 @@
+module diagnet
+
+go 1.22

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"diagnet/internal/core"
+	"diagnet/internal/dataset"
+	"diagnet/internal/forest"
+	"diagnet/internal/netsim"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixModel    *core.Model
+	fixTest     *dataset.Dataset
+)
+
+// fixture trains one tiny model for the whole test package.
+func fixture(t *testing.T) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	return buildFixture()
+}
+
+// buildFixture is fixture without a testing.T, usable from fuzz targets.
+func buildFixture() (*core.Model, *dataset.Dataset) {
+	fixtureOnce.Do(func() {
+		w := netsim.NewWorld(netsim.Config{Seed: 1})
+		d := dataset.Generate(dataset.GenConfig{
+			World:          w,
+			NominalSamples: 300,
+			FaultSamples:   800,
+			Seed:           21,
+		})
+		train, test := d.Split(0.8, netsim.HiddenLandmarks(), 23)
+		cfg := core.DefaultConfig()
+		cfg.Filters = 6
+		cfg.Hidden = []int{24, 12}
+		cfg.Epochs = 6
+		cfg.Forest = forest.Config{Trees: 10, Tree: forest.TreeConfig{MaxDepth: 6}}
+		known := []int{netsim.BEAU, netsim.AMST, netsim.SING, netsim.LOND, netsim.FRNK, netsim.TOKY, netsim.SYDN}
+		fixModel = core.TrainGeneral(train, known, cfg).Model
+		fixTest = test
+	})
+	return fixModel, fixTest
+}
+
+func newService(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	m, _ := fixture(t)
+	s := NewServer(m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func sampleRequest(t *testing.T) *DiagnoseRequest {
+	t.Helper()
+	_, test := fixture(t)
+	deg := test.Degraded()
+	if deg.Len() == 0 {
+		t.Fatal("no degraded samples")
+	}
+	s := &deg.Samples[0]
+	return &DiagnoseRequest{
+		ServiceID: s.Service,
+		Landmarks: test.Layout.Landmarks,
+		Features:  s.Features,
+	}
+}
+
+func TestDiagnoseOverHTTP(t *testing.T) {
+	_, ts := newService(t)
+	client := NewClient(ts.URL)
+	resp, err := client.Diagnose(context.Background(), sampleRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Causes) != 5 {
+		t.Fatalf("%d causes, want 5", len(resp.Causes))
+	}
+	for i := 1; i < len(resp.Causes); i++ {
+		if resp.Causes[i].Score > resp.Causes[i-1].Score {
+			t.Fatal("causes not sorted by score")
+		}
+	}
+	if resp.Causes[0].Name == "" || resp.Causes[0].Family == "" {
+		t.Fatal("cause names missing")
+	}
+	if resp.ModelService != -1 {
+		t.Fatal("no specialized model registered; expected general fallback")
+	}
+	if len(resp.Coarse) != 7 {
+		t.Fatalf("coarse has %d classes", len(resp.Coarse))
+	}
+}
+
+func TestDiagnoseUsesSpecializedModel(t *testing.T) {
+	srv, ts := newService(t)
+	m, _ := fixture(t)
+	req := sampleRequest(t)
+	srv.SetSpecialized(req.ServiceID, m) // same weights, but routing must switch
+	client := NewClient(ts.URL)
+	resp, err := client.Diagnose(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelService != req.ServiceID {
+		t.Fatalf("served by model %d, want %d", resp.ModelService, req.ServiceID)
+	}
+}
+
+func TestDiagnoseTopK(t *testing.T) {
+	srv, _ := newService(t)
+	req := sampleRequest(t)
+	req.TopK = 3
+	resp, err := srv.Diagnose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Causes) != 3 {
+		t.Fatalf("%d causes", len(resp.Causes))
+	}
+	// TopK larger than the feature space is clamped.
+	req.TopK = 10000
+	resp, err = srv.Diagnose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Causes) != len(req.Features) {
+		t.Fatalf("%d causes, want %d", len(resp.Causes), len(req.Features))
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	srv, ts := newService(t)
+	// Mismatched feature count.
+	if _, err := srv.Diagnose(&DiagnoseRequest{Landmarks: []int{0, 1}, Features: []float64{1}}); err == nil {
+		t.Fatal("want feature-count error")
+	}
+	// No landmarks.
+	if _, err := srv.Diagnose(&DiagnoseRequest{Features: make([]float64, 5)}); err == nil {
+		t.Fatal("want no-landmark error")
+	}
+	// Bad JSON over HTTP.
+	resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// GET is rejected.
+	resp, _ = http.Get(ts.URL + "/v1/diagnose")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestModelInfoAndHealth(t *testing.T) {
+	srv, ts := newService(t)
+	m, _ := fixture(t)
+	srv.SetSpecialized(3, m)
+	client := NewClient(ts.URL)
+	info, err := client.Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.KnownRegions) != 7 {
+		t.Fatalf("known regions %v", info.KnownRegions)
+	}
+	if info.TotalParams == 0 {
+		t.Fatal("no params reported")
+	}
+	if len(info.Specialized) != 1 || info.Specialized[0] != 3 {
+		t.Fatalf("specialized %v", info.Specialized)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("health status %d", resp.StatusCode)
+	}
+}
+
+func TestDriftEndpoint(t *testing.T) {
+	srv, ts := newService(t)
+	req := sampleRequest(t)
+	// Build a reference, freeze, then add live observations.
+	for i := 0; i < 30; i++ {
+		if _, err := srv.Diagnose(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.EnableDrift()
+	status := srv.DriftStatus()
+	if status.Drifted {
+		t.Fatalf("no live data yet: %+v", status)
+	}
+	if status.SamplesRef != 30 {
+		t.Fatalf("reference samples %d", status.SamplesRef)
+	}
+	// The HTTP endpoint serves the same JSON.
+	resp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		SamplesRef int  `json:"SamplesRef"`
+		Drifted    bool `json:"Drifted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SamplesRef != 30 || got.Drifted {
+		t.Fatalf("endpoint returned %+v", got)
+	}
+}
+
+func TestDiagnoseBatch(t *testing.T) {
+	_, ts := newService(t)
+	client := NewClient(ts.URL)
+	good := *sampleRequest(t)
+	bad := DiagnoseRequest{Landmarks: []int{0}, Features: []float64{1}} // wrong width
+	resp, err := client.DiagnoseBatch(context.Background(), []DiagnoseRequest{good, bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Responses) != 3 || len(resp.Errors) != 3 {
+		t.Fatalf("batch shape %d/%d", len(resp.Responses), len(resp.Errors))
+	}
+	if resp.Responses[0] == nil || resp.Errors[0] != "" {
+		t.Fatal("valid request failed in batch")
+	}
+	if resp.Responses[1] != nil || resp.Errors[1] == "" {
+		t.Fatal("invalid request not reported")
+	}
+	if resp.Responses[2] == nil {
+		t.Fatal("batch stopped after an error")
+	}
+	// Batch and single answers agree.
+	single, err := client.Diagnose(context.Background(), &good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Causes[0].Feature != resp.Responses[0].Causes[0].Feature {
+		t.Fatal("batch diverges from single diagnosis")
+	}
+}
+
+func TestDiagnoseBatchValidation(t *testing.T) {
+	_, ts := newService(t)
+	// Empty batch rejected.
+	resp, err := http.Post(ts.URL+"/v1/diagnose-batch", "application/json", strings.NewReader(`{"requests":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	// GET rejected.
+	resp, _ = http.Get(ts.URL + "/v1/diagnose-batch")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentDiagnoses(t *testing.T) {
+	srv, _ := newService(t)
+	req := sampleRequest(t)
+	base, err := srv.Diagnose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Diagnose(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Causes[0].Feature != base.Causes[0].Feature {
+				errs <- contextErr{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type contextErr struct{}
+
+func (contextErr) Error() string { return "concurrent diagnosis diverged" }

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDiagnoseHTTP ensures arbitrary request bodies never crash the
+// analysis service — they must yield 400s (or a 200 for the valid seed).
+func FuzzDiagnoseHTTP(f *testing.F) {
+	f.Add(`{"service_id":0,"landmarks":[0],"features":[1,2,3,4,5,6,7,8,9,10]}`)
+	f.Add(`{"landmarks":[],"features":[]}`)
+	f.Add(`{`)
+	f.Add(`{"landmarks":[0,1,2],"features":[1]}`)
+	f.Add(`{"service_id":-5,"landmarks":[99],"features":null}`)
+
+	// One shared tiny model for all fuzz executions.
+	var ts *httptest.Server
+	f.Cleanup(func() {
+		if ts != nil {
+			ts.Close()
+		}
+	})
+
+	f.Fuzz(func(t *testing.T, body string) {
+		if ts == nil {
+			m, _ := buildFixture()
+			ts = httptest.NewServer(NewServer(m).Handler())
+		}
+		resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Skip("transport error")
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d for body %q", resp.StatusCode, body)
+		}
+	})
+}

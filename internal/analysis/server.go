@@ -1,0 +1,251 @@
+// Package analysis implements the paper's root-cause analysis service
+// (Fig. 1): a central HTTP endpoint that owns the trained inference models
+// and serves diagnoses to clients. Clients send their raw measurement
+// vectors plus the landmark set they probed; the service answers with the
+// coarse family and the ranked root-cause list, using the service's
+// specialized model when one exists.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"diagnet/internal/core"
+	"diagnet/internal/drift"
+	"diagnet/internal/probe"
+)
+
+// DiagnoseRequest is the client's payload: the landmark regions probed (in
+// feature order) and the raw measurement vector under that layout.
+type DiagnoseRequest struct {
+	// ServiceID selects a specialized model; -1 or unknown IDs fall back
+	// to the general model.
+	ServiceID int `json:"service_id"`
+	// Landmarks lists the probed landmark regions in feature order.
+	Landmarks []int `json:"landmarks"`
+	// Features is the raw measurement vector (len(Landmarks)·5 + 5).
+	Features []float64 `json:"features"`
+	// TopK bounds the returned cause list (default 5).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// Cause is one ranked root-cause candidate.
+type Cause struct {
+	Feature int     `json:"feature"`
+	Name    string  `json:"name"`
+	Family  string  `json:"family"`
+	Score   float64 `json:"score"`
+}
+
+// DiagnoseResponse is the service's answer.
+type DiagnoseResponse struct {
+	Family        string    `json:"family"`
+	Coarse        []float64 `json:"coarse"`
+	UnknownWeight float64   `json:"unknown_weight"`
+	Causes        []Cause   `json:"causes"`
+	ModelService  int       `json:"model_service"` // -1 = general model
+}
+
+// ModelInfo describes the loaded models.
+type ModelInfo struct {
+	KnownRegions    []int `json:"known_regions"`
+	TotalParams     int   `json:"total_params"`
+	TrainableParams int   `json:"trainable_params"`
+	Specialized     []int `json:"specialized_services"`
+}
+
+// Server is the analysis service. Register specialized models with
+// SetSpecialized; concurrent diagnoses are serialized per model because
+// the network's backward pass mutates layer caches.
+//
+// The server feeds every coarse prediction into a drift detector
+// (§II-A: networks and services evolve); once EnableDrift has frozen a
+// reference window, /v1/drift reports whether the live prediction
+// distribution still matches it.
+type Server struct {
+	mu          sync.Mutex
+	general     *core.Model
+	specialized map[int]*core.Model
+	drift       *drift.Detector
+}
+
+// NewServer wraps a general model.
+func NewServer(general *core.Model) *Server {
+	return &Server{
+		general:     general,
+		specialized: map[int]*core.Model{},
+		drift:       drift.NewDetector(int(probe.NumFamilies), drift.Config{}),
+	}
+}
+
+// EnableDrift freezes the drift reference: diagnoses so far form the
+// baseline, later ones fill the live window.
+func (s *Server) EnableDrift() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drift.Freeze()
+}
+
+// DriftStatus returns the detector's verdict.
+func (s *Server) DriftStatus() drift.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drift.Status()
+}
+
+// SetSpecialized registers a per-service model.
+func (s *Server) SetSpecialized(serviceID int, m *core.Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specialized[serviceID] = m
+}
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/diagnose       → DiagnoseResponse
+//	POST /v1/diagnose-batch → BatchResponse
+//	GET  /v1/model          → ModelInfo
+//	GET  /healthz           → 204
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/v1/diagnose-batch", s.handleBatch)
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/v1/drift", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.DriftStatus())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// BatchRequest carries several diagnosis requests at once (bulk
+// post-mortem analysis of recorded incidents).
+type BatchRequest struct {
+	Requests []DiagnoseRequest `json:"requests"`
+}
+
+// BatchResponse answers a BatchRequest; Errors[i] is non-empty when
+// Requests[i] was invalid (its Responses[i] is then null).
+type BatchResponse struct {
+	Responses []*DiagnoseResponse `json:"responses"`
+	Errors    []string            `json:"errors"`
+}
+
+// maxBatch bounds a single batch request.
+const maxBatch = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) == 0 || len(req.Requests) > maxBatch {
+		http.Error(w, fmt.Sprintf("batch size must be in [1, %d]", maxBatch), http.StatusBadRequest)
+		return
+	}
+	resp := BatchResponse{
+		Responses: make([]*DiagnoseResponse, len(req.Requests)),
+		Errors:    make([]string, len(req.Requests)),
+	}
+	for i := range req.Requests {
+		out, err := s.Diagnose(&req.Requests[i])
+		if err != nil {
+			resp.Errors[i] = err.Error()
+			continue
+		}
+		resp.Responses[i] = out
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DiagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Diagnose(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Diagnose runs the pipeline on a request (also usable in-process).
+func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
+	if len(req.Landmarks) == 0 {
+		return nil, fmt.Errorf("analysis: no landmarks in request")
+	}
+	layout := probe.NewLayout(req.Landmarks)
+	if len(req.Features) != layout.NumFeatures() {
+		return nil, fmt.Errorf("analysis: %d features for %d landmarks (want %d)",
+			len(req.Features), len(req.Landmarks), layout.NumFeatures())
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	if topK > layout.NumFeatures() {
+		topK = layout.NumFeatures()
+	}
+
+	s.mu.Lock()
+	model := s.general
+	modelService := -1
+	if m, ok := s.specialized[req.ServiceID]; ok {
+		model = m
+		modelService = req.ServiceID
+	}
+	diag := model.Diagnose(req.Features, layout)
+	s.drift.Observe(diag.Coarse)
+	s.mu.Unlock()
+
+	resp := &DiagnoseResponse{
+		Family:        diag.Family.String(),
+		Coarse:        diag.Coarse,
+		UnknownWeight: diag.UnknownWeight,
+		ModelService:  modelService,
+	}
+	for _, j := range diag.Ranked()[:topK] {
+		resp.Causes = append(resp.Causes, Cause{
+			Feature: j,
+			Name:    layout.FeatureName(j),
+			Family:  layout.FamilyOf(j).String(),
+			Score:   diag.Final[j],
+		})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	total, trainable := s.general.ParamCount()
+	info := ModelInfo{
+		KnownRegions:    append([]int(nil), s.general.TrainLayout.Landmarks...),
+		TotalParams:     total,
+		TrainableParams: trainable,
+	}
+	for id := range s.specialized {
+		info.Specialized = append(info.Specialized, id)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}

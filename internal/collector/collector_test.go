@@ -1,0 +1,197 @@
+package collector
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+	"diagnet/internal/services"
+)
+
+func newSimSource(faultsAt func(int64) []netsim.Fault) (*SimSource, probe.Layout) {
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	layout := probe.FullLayout()
+	svc := services.Service{ID: 0, Kind: services.ImageLocal, Host: netsim.GRAV}
+	return NewSimSource(w, netsim.AMST, svc, layout, faultsAt, 5), layout
+}
+
+func TestBaselineFlagsInjectedAnomaly(t *testing.T) {
+	faultFrom := int64(50)
+	src, layout := newSimSource(func(tick int64) []netsim.Fault {
+		if tick >= faultFrom {
+			return []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.GRAV)}
+		}
+		return nil
+	})
+	agent := NewAgent(src, layout.NumFeatures(), Config{Warmup: 10, ZThreshold: 4})
+
+	// Warm up on nominal ticks.
+	for tick := int64(0); tick < faultFrom; tick++ {
+		if _, degraded := agent.Step(tick); degraded {
+			t.Fatalf("degraded during nominal warm-up at tick %d", tick)
+		}
+	}
+	// The loss fault must both degrade QoE and be flagged by the baseline.
+	ev, degraded := agent.Step(faultFrom)
+	if !degraded {
+		t.Fatal("loss fault did not trigger an event")
+	}
+	lossIdx := layout.FeatureIndex(layout.LandmarkPos(netsim.GRAV), probe.MetricLoss)
+	found := false
+	for _, j := range ev.Anomalies {
+		if j == lossIdx {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("baseline anomalies %v miss the loss feature %d", ev.Anomalies, lossIdx)
+	}
+}
+
+func TestBaselineWarmup(t *testing.T) {
+	b := NewBaseline(3, 5)
+	if b.Ready() {
+		t.Fatal("ready before any update")
+	}
+	for i := 0; i < 5; i++ {
+		b.Update([]float64{1, 2, 3})
+	}
+	if !b.Ready() {
+		t.Fatal("not ready after warmup")
+	}
+	// Constant features: zero variance, no anomalies even for new values.
+	if z := b.ZScores([]float64{1, 2, 3}); z[0] != 0 || z[1] != 0 {
+		t.Fatal("z-scores on constant history should be 0")
+	}
+}
+
+func TestBaselineZScores(t *testing.T) {
+	b := NewBaseline(1, 2)
+	for _, v := range []float64{0, 1, 0, 1, 0, 1, 0, 1} {
+		b.Update([]float64{v})
+	}
+	// mean 0.5, std 0.5 → value 3 is z=5.
+	z := b.ZScores([]float64{3})
+	if z[0] < 4.9 || z[0] > 5.1 {
+		t.Fatalf("z = %v, want 5", z[0])
+	}
+	if got := b.Anomalies([]float64{3}, 4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("anomalies %v", got)
+	}
+	if got := b.Anomalies([]float64{0.5}, 4); got != nil {
+		t.Fatalf("nominal flagged: %v", got)
+	}
+}
+
+func TestBaselineWrongWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewBaseline(2, 2).Update([]float64{1})
+}
+
+func TestAgentWindowBounded(t *testing.T) {
+	src, layout := newSimSource(nil)
+	agent := NewAgent(src, layout.NumFeatures(), Config{Window: 10})
+	for tick := int64(0); tick < 50; tick++ {
+		agent.Step(tick)
+	}
+	hist, ticks := agent.History()
+	if len(hist) != 10 || len(ticks) != 10 {
+		t.Fatalf("history %d/%d, want 10", len(hist), len(ticks))
+	}
+	if ticks[0] != 40 || ticks[9] != 49 {
+		t.Fatalf("ring buffer kept wrong ticks: %v", ticks)
+	}
+	steps, events := agent.Stats()
+	if steps != 50 || events != 0 {
+		t.Fatalf("stats %d/%d", steps, events)
+	}
+}
+
+func TestAgentDegradedSamplesDoNotPoisonBaseline(t *testing.T) {
+	// Alternate nominal and faulty ticks; the baseline must reflect only
+	// nominal ones so the anomaly stays detectable throughout.
+	src, layout := newSimSource(func(tick int64) []netsim.Fault {
+		if tick%2 == 1 && tick > 30 {
+			return []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.GRAV)}
+		}
+		return nil
+	})
+	agent := NewAgent(src, layout.NumFeatures(), Config{Warmup: 10, ZThreshold: 4})
+	lossIdx := layout.FeatureIndex(layout.LandmarkPos(netsim.GRAV), probe.MetricLoss)
+	flagged := 0
+	total := 0
+	for tick := int64(0); tick < 100; tick++ {
+		ev, degraded := agent.Step(tick)
+		if degraded {
+			total++
+			for _, j := range ev.Anomalies {
+				if j == lossIdx {
+					flagged++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no degradations")
+	}
+	if flagged < total*9/10 {
+		t.Fatalf("loss feature flagged on %d/%d events; baseline poisoned?", flagged, total)
+	}
+}
+
+func TestAgentRunDropsOnFullChannel(t *testing.T) {
+	// Every tick degrades; with an unbuffered, never-drained channel the
+	// agent must keep stepping rather than block.
+	src, layout := newSimSource(func(tick int64) []netsim.Fault {
+		return []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.GRAV)}
+	})
+	agent := NewAgent(src, layout.NumFeatures(), Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	out := make(chan Event) // nobody reads
+	done := make(chan struct{})
+	go func() {
+		agent.Run(ctx, time.Millisecond, 0, out)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run blocked on a full channel")
+	}
+	steps, events := agent.Stats()
+	if steps < 10 || events < 10 {
+		t.Fatalf("agent stalled: %d steps, %d events", steps, events)
+	}
+}
+
+func TestAgentRunWithContext(t *testing.T) {
+	src, layout := newSimSource(func(tick int64) []netsim.Fault {
+		return []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.GRAV)}
+	})
+	agent := NewAgent(src, layout.NumFeatures(), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan Event, 4)
+	done := make(chan struct{})
+	go func() {
+		agent.Run(ctx, time.Millisecond, 0, out)
+		close(done)
+	}()
+	select {
+	case <-out:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event within deadline")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

@@ -1,0 +1,50 @@
+package collector
+
+import (
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+	"diagnet/internal/qoe"
+	"diagnet/internal/services"
+	"diagnet/internal/stats"
+)
+
+// SimSource adapts the simulator as a measurement source for one client
+// watching one service. Faults can be scheduled per tick.
+type SimSource struct {
+	World   *netsim.World
+	Client  int
+	Service services.Service
+	Layout  probe.Layout
+	// FaultsAt returns the faults active at a tick (nil for none).
+	FaultsAt func(tick int64) []netsim.Fault
+	Seed     int64
+
+	q *qoe.Model
+}
+
+// NewSimSource builds a source; faultsAt may be nil (never any fault).
+func NewSimSource(w *netsim.World, client int, svc services.Service, layout probe.Layout, faultsAt func(int64) []netsim.Fault, seed int64) *SimSource {
+	return &SimSource{
+		World: w, Client: client, Service: svc, Layout: layout,
+		FaultsAt: faultsAt, Seed: seed, q: qoe.New(w),
+	}
+}
+
+func (s *SimSource) env(tick int64) netsim.Env {
+	e := netsim.Env{Tick: tick}
+	if s.FaultsAt != nil {
+		e.Faults = s.FaultsAt(tick)
+	}
+	return e
+}
+
+// Sample implements Source.
+func (s *SimSource) Sample(tick int64) []float64 {
+	prober := probe.Prober{W: s.World}
+	return prober.Sample(s.Client, s.Layout, s.env(tick), stats.NewRand(s.Seed, tick))
+}
+
+// Degraded implements Source.
+func (s *SimSource) Degraded(tick int64) bool {
+	return s.q.Degraded(s.Client, s.Service, s.env(tick))
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"diagnet/internal/probe"
+)
+
+// DiagnoseBatch diagnoses many samples in parallel. A Model is not safe
+// for concurrent Diagnose calls (the backward pass reuses layer caches),
+// so the batch API clones the network once per worker and shards the
+// samples; results come back in input order regardless of scheduling.
+// workers ≤ 0 selects GOMAXPROCS.
+func (m *Model) DiagnoseBatch(features [][]float64, layout probe.Layout, workers int) []*Diagnosis {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(features) {
+		workers = len(features)
+	}
+	out := make([]*Diagnosis, len(features))
+	if workers <= 1 {
+		for i, x := range features {
+			out[i] = m.Diagnose(x, layout)
+		}
+		return out
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Clone the mutable network; the normalizer, forest and
+			// layouts are read-only and shared.
+			local := &Model{
+				Cfg:         m.Cfg,
+				TrainLayout: m.TrainLayout,
+				Known:       m.Known,
+				Norm:        m.Norm,
+				Net:         m.Net.Clone(),
+				Aux:         m.Aux,
+				FullLayout:  m.FullLayout,
+				ServiceID:   m.ServiceID,
+			}
+			for i := range next {
+				out[i] = local.Diagnose(features[i], layout)
+			}
+		}()
+	}
+	for i := range features {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBundleSpecializeAllAndRouting(t *testing.T) {
+	m := trainedModel(t)
+	train, _ := trainTestData(t)
+	b := NewBundle(m)
+	svcID := train.Samples[0].Service
+	results := b.SpecializeAll(train, []int{svcID, 9999})
+	if len(results) != 1 {
+		t.Fatalf("specialized %d services, want 1 (9999 has no data)", len(results))
+	}
+	if b.ModelFor(svcID).ServiceID != svcID {
+		t.Fatal("routing to specialized model failed")
+	}
+	if b.ModelFor(12345) != m {
+		t.Fatal("fallback to general model failed")
+	}
+}
+
+func TestBundleSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	train, test := trainTestData(t)
+	b := NewBundle(m)
+	svcID := train.Samples[0].Service
+	b.SpecializeAll(train, []int{svcID})
+
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Specialized) != 1 {
+		t.Fatalf("loaded %d specialized models", len(loaded.Specialized))
+	}
+	s := &test.Samples[0]
+	a := b.ModelFor(svcID).Diagnose(s.Features, test.Layout)
+	c := loaded.ModelFor(svcID).Diagnose(s.Features, test.Layout)
+	for j := range a.Final {
+		if a.Final[j] != c.Final[j] {
+			t.Fatal("loaded bundle diagnoses differently")
+		}
+	}
+}
+
+func TestLoadBundleGarbage(t *testing.T) {
+	if _, err := LoadBundle(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"diagnet/internal/dataset"
+	"diagnet/internal/eval"
+	"diagnet/internal/forest"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+// testConfig shrinks the network for fast tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Filters = 8
+	cfg.Hidden = []int{48, 24}
+	cfg.Epochs = 10
+	cfg.Patience = 3
+	cfg.SpecializeEpochs = 5
+	cfg.Forest = forest.Config{Trees: 15, Tree: forest.TreeConfig{MaxDepth: 8}}
+	return cfg
+}
+
+// knownRegions returns the 7 regions whose landmarks are visible during
+// training.
+func knownRegions() []int {
+	hidden := map[int]bool{}
+	for _, h := range netsim.HiddenLandmarks() {
+		hidden[h] = true
+	}
+	var known []int
+	for r := 0; r < netsim.NumRegions; r++ {
+		if !hidden[r] {
+			known = append(known, r)
+		}
+	}
+	return known
+}
+
+var cachedSplit struct {
+	train, test *dataset.Dataset
+}
+
+func trainTestData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	if cachedSplit.train == nil {
+		w := netsim.NewWorld(netsim.Config{Seed: 1})
+		d := dataset.Generate(dataset.GenConfig{
+			World:          w,
+			NominalSamples: 900,
+			FaultSamples:   2400,
+			Seed:           11,
+		})
+		cachedSplit.train, cachedSplit.test = d.Split(0.8, netsim.HiddenLandmarks(), 13)
+	}
+	return cachedSplit.train, cachedSplit.test
+}
+
+var cachedModel *Model
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	if cachedModel == nil {
+		train, _ := trainTestData(t)
+		cachedModel = TrainGeneral(train, knownRegions(), testConfig()).Model
+	}
+	return cachedModel
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Filters != 24 {
+		t.Fatalf("f = %d, want 24", cfg.Filters)
+	}
+	if len(cfg.Hidden) != 2 || cfg.Hidden[0] != 512 || cfg.Hidden[1] != 128 {
+		t.Fatalf("hidden = %v, want [512 128]", cfg.Hidden)
+	}
+	if len(cfg.PoolOpNames) != 13 {
+		t.Fatalf("|Ω| = %d, want 13 (min,max,avg,var,p10..p90)", len(cfg.PoolOpNames))
+	}
+	if cfg.LearningRate != 0.05 || cfg.Decay != 0.001 {
+		t.Fatalf("optimizer %v/%v, want 0.05/0.001", cfg.LearningRate, cfg.Decay)
+	}
+	if cfg.Forest.Trees != 50 || cfg.Forest.Tree.MaxDepth != 10 {
+		t.Fatal("auxiliary forest config differs from Table I")
+	}
+}
+
+func TestParamCountTableIArchitecture(t *testing.T) {
+	cfg := DefaultConfig()
+	// Build the net directly (no training needed) to count parameters.
+	net := buildNet(cfg, rand.New(rand.NewSource(1)))
+	total, trainable := net.ParamCount()
+	// LandPool: 24·5+24; FC1: (13·24+5)·512+512; FC2: 512·128+128;
+	// out: 128·7+7.
+	want := 24*5 + 24 + (13*24+5)*512 + 512 + 512*128 + 128 + 128*7 + 7
+	if total != want || trainable != want {
+		t.Fatalf("ParamCount = %d/%d, want %d", total, trainable, want)
+	}
+}
+
+func TestGeneralModelLearnsCoarseFamilies(t *testing.T) {
+	m := trainedModel(t)
+	_, test := trainTestData(t)
+	conf := eval.NewConfusion(int(probe.NumFamilies))
+	full := test.Layout
+	for i := range test.Samples {
+		s := &test.Samples[i]
+		probs := m.CoarsePredict(full.Project(s.Features, m.TrainLayout), m.TrainLayout)
+		pred := 0
+		for k, p := range probs {
+			if p > probs[pred] {
+				pred = k
+			}
+		}
+		conf.Add(int(s.Family), pred)
+	}
+	if acc := conf.Accuracy(); acc < 0.55 {
+		t.Fatalf("coarse accuracy %.3f too low to be a trained model", acc)
+	}
+}
+
+func TestDiagnoseRanksTrueCauses(t *testing.T) {
+	m := trainedModel(t)
+	_, test := trainTestData(t)
+	full := test.Layout
+	var ranks []int
+	for i := range test.Samples {
+		s := &test.Samples[i]
+		if !s.Degraded {
+			continue
+		}
+		diag := m.Diagnose(s.Features, full)
+		ranks = append(ranks, eval.RankOf(diag.Final, s.Cause))
+	}
+	if len(ranks) == 0 {
+		t.Fatal("no degraded test samples")
+	}
+	r5 := eval.RecallAtK(ranks, 5)
+	if r5 < 0.4 {
+		t.Fatalf("Recall@5 = %.3f — model failed to localize causes", r5)
+	}
+	// Must beat random ranking (5/55 ≈ 0.09) by a wide margin.
+	if r5 < 3*5.0/55 {
+		t.Fatalf("Recall@5 = %.3f barely above random", r5)
+	}
+}
+
+func TestDiagnosisInvariants(t *testing.T) {
+	m := trainedModel(t)
+	_, test := trainTestData(t)
+	full := test.Layout
+	n := len(test.Samples)
+	if n > 50 {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		s := &test.Samples[i]
+		diag := m.Diagnose(s.Features, full)
+		var att, tuned float64
+		for j := range diag.Attention {
+			if diag.Attention[j] < 0 || diag.Tuned[j] < 0 || diag.Final[j] < 0 {
+				t.Fatal("negative score")
+			}
+			att += diag.Attention[j]
+			tuned += diag.Tuned[j]
+		}
+		if math.Abs(att-1) > 1e-9 {
+			t.Fatalf("attention sums to %v", att)
+		}
+		// Algorithm 1 preserves normalization by construction.
+		if math.Abs(tuned-1) > 1e-9 {
+			t.Fatalf("tuned scores sum to %v", tuned)
+		}
+		if diag.UnknownWeight < 0 || diag.UnknownWeight > 1+1e-9 {
+			t.Fatalf("w_U = %v", diag.UnknownWeight)
+		}
+		if len(diag.Ranked()) != full.NumFeatures() {
+			t.Fatal("Ranked length")
+		}
+	}
+}
+
+func TestDiagnoseWorksWithFewerLandmarks(t *testing.T) {
+	// Root-cause extensibility also means *fewer* landmarks at inference.
+	m := trainedModel(t)
+	_, test := trainTestData(t)
+	sub := probe.NewLayout([]int{netsim.BEAU, netsim.AMST, netsim.SING})
+	s := &test.Samples[0]
+	features := test.Layout.Project(s.Features, sub)
+	diag := m.Diagnose(features, sub)
+	if len(diag.Final) != sub.NumFeatures() {
+		t.Fatalf("diagnosis over %d features, want %d", len(diag.Final), sub.NumFeatures())
+	}
+}
+
+func TestSpecializeFreezesConvolution(t *testing.T) {
+	m := trainedModel(t)
+	train, _ := trainTestData(t)
+	svcID := train.Samples[0].Service
+	res := m.Specialize(train, svcID)
+	spec := res.Model
+	if spec.ServiceID != svcID {
+		t.Fatal("ServiceID not set")
+	}
+	// The LandPool kernel must be identical to the general model's.
+	gLP := m.Net.Layers[0].Params()
+	sLP := spec.Net.Layers[0].Params()
+	for i := range gLP {
+		for j, v := range gLP[i].Value.Data {
+			if sLP[i].Value.Data[j] != v {
+				t.Fatal("convolution weights moved during specialization")
+			}
+		}
+		if !sLP[i].Frozen {
+			t.Fatal("convolution not frozen")
+		}
+	}
+	// Trainable parameter count shrinks to the final layers.
+	total, trainable := spec.ParamCount()
+	if trainable >= total {
+		t.Fatal("nothing frozen")
+	}
+	gTotal, _ := m.ParamCount()
+	if total != gTotal {
+		t.Fatal("architecture changed")
+	}
+	// The general model itself must be untouched.
+	if _, gTrainable := m.ParamCount(); gTrainable != gTotal {
+		t.Fatal("Specialize froze the general model's params")
+	}
+}
+
+func TestSpecializeConvergesFasterThanGeneral(t *testing.T) {
+	train, _ := trainTestData(t)
+	cfg := testConfig()
+	general := TrainGeneral(train, knownRegions(), cfg)
+	spec := general.Model.Specialize(train, train.Samples[0].Service)
+	if spec.History.Epochs() > general.History.Epochs() {
+		t.Fatalf("specialized model took %d epochs vs %d for general (paper: <5 vs ~20)",
+			spec.History.Epochs(), general.History.Epochs())
+	}
+}
+
+func TestSpecializeFromSpecializedPanics(t *testing.T) {
+	m := trainedModel(t)
+	train, _ := trainTestData(t)
+	spec := m.Specialize(train, train.Samples[0].Service).Model
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	spec.Specialize(train, train.Samples[0].Service)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	_, test := trainTestData(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &test.Samples[0]
+	a := m.Diagnose(s.Features, test.Layout)
+	b := loaded.Diagnose(s.Features, test.Layout)
+	for j := range a.Final {
+		if math.Abs(a.Final[j]-b.Final[j]) > 1e-12 {
+			t.Fatal("loaded model diagnoses differently")
+		}
+	}
+	if loaded.ServiceID != m.ServiceID {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("xx")); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestScoreWeightingAlgorithm1(t *testing.T) {
+	layout := probe.NewLayout([]int{netsim.AMST})
+	// features: rtt, jitter, loss, down, up, gw-rtt, gw-jit, cpu, mem, io
+	gamma := []float64{0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.05, 0.04, 0.03, 0.03}
+	coarse := make([]float64, probe.NumFamilies)
+	coarse[probe.FamLatency] = 0.7
+	coarse[probe.FamNominal] = 0.3
+	tuned := scoreWeighting(gamma, coarse, layout, probe.FamLatency)
+	// p = {0} (only the RTT feature is latency family); s = 0.4, w = 0.7.
+	if math.Abs(tuned[0]-0.4*0.7/0.4) > 1e-12 {
+		t.Fatalf("bonus wrong: %v", tuned[0])
+	}
+	// Penalty features scale by (1-w)/(1-s) = 0.3/0.6 = 0.5.
+	if math.Abs(tuned[1]-0.05) > 1e-12 {
+		t.Fatalf("penalty wrong: %v", tuned[1])
+	}
+	// Normalization preserved.
+	var sum float64
+	for _, v := range tuned {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("tuned sums to %v", sum)
+	}
+}
+
+func TestScoreWeightingExtremeCases(t *testing.T) {
+	layout := probe.NewLayout([]int{netsim.AMST})
+	coarse := make([]float64, probe.NumFamilies)
+	coarse[probe.FamLatency] = 1
+	// s == 0: all gamma mass outside the family.
+	gamma := []float64{0, 0.5, 0.5, 0, 0, 0, 0, 0, 0, 0}
+	tuned := scoreWeighting(gamma, coarse, layout, probe.FamLatency)
+	for j := range gamma {
+		if tuned[j] != gamma[j] {
+			t.Fatal("s=0 must leave scores unchanged")
+		}
+	}
+	// Nominal family: no features belong to it.
+	tuned = scoreWeighting(gamma, coarse, layout, probe.FamNominal)
+	for j := range gamma {
+		if tuned[j] != gamma[j] {
+			t.Fatal("nominal family must leave scores unchanged")
+		}
+	}
+}

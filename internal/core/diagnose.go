@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"diagnet/internal/nn"
+	"diagnet/internal/probe"
+)
+
+// Diagnosis is the output of DiagNet for one degraded sample: the coarse
+// family prediction plus per-feature root-cause scores at every stage of
+// the pipeline (attention → Algorithm 1 weighting → ensemble averaging).
+// Scores are indexed by the features of the inference layout.
+type Diagnosis struct {
+	Layout probe.Layout
+	// Coarse is the softmax distribution over the c fault families.
+	Coarse []float64
+	// Family is the arg-max coarse family.
+	Family probe.Family
+	// Attention is γ̂, the normalized input-gradient usefulness (Eq. 1).
+	Attention []float64
+	// Tuned is γ̂′ after the multi-label score weighting of Algorithm 1.
+	Tuned []float64
+	// UnknownWeight is w_U, the tuned attention mass on features of
+	// landmarks unseen during training (§III-F).
+	UnknownWeight float64
+	// Final is the ensemble-averaged score vector used for ranking.
+	Final []float64
+}
+
+// Ranked returns the feature indices sorted by decreasing final score.
+// Ties break on the lower index for determinism.
+func (d *Diagnosis) Ranked() []int {
+	idx := make([]int, len(d.Final))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d.Final[idx[a]] > d.Final[idx[b]] })
+	return idx
+}
+
+// Diagnose runs the full DiagNet pipeline on a raw measurement vector
+// collected under `layout` (which may contain landmarks the model never
+// saw during training — the whole point of root-cause extensibility).
+func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
+	if len(features) != layout.NumFeatures() {
+		panic("core: feature vector does not match layout")
+	}
+	normed := m.Norm.Apply(features, layout)
+
+	// Steps ①–④: coarse prediction; step ⑤: one backpropagation pass of
+	// the ideal-label loss L* down to the inputs (§III-E).
+	grad, coarse := m.Net.InputGradient(normed, -1)
+	fam := probe.Family(nn.Argmax(coarse))
+
+	// Equation 1: γ̂_j = |∇_j| / Σ|∇_k|.
+	attention := make([]float64, len(grad))
+	var sum float64
+	for i, g := range grad {
+		attention[i] = math.Abs(g)
+		sum += attention[i]
+	}
+	if sum > 0 {
+		for i := range attention {
+			attention[i] /= sum
+		}
+	} else {
+		// Degenerate gradient: fall back to a uniform distribution.
+		u := 1 / float64(len(attention))
+		for i := range attention {
+			attention[i] = u
+		}
+	}
+
+	tuned := scoreWeighting(attention, coarse, layout, fam)
+
+	// Ensemble averaging (§III-F): w_U γ̂′ + (1−w_U) α̂.
+	var wU float64
+	for j := range tuned {
+		if !layout.IsLocal(j) && !m.Known[layout.Landmarks[j/int(probe.NumMetrics)]] {
+			wU += tuned[j]
+		}
+	}
+	aux := m.auxScores(features, layout)
+	final := make([]float64, len(tuned))
+	for j := range final {
+		final[j] = wU*tuned[j] + (1-wU)*aux[j]
+	}
+
+	return &Diagnosis{
+		Layout:        layout,
+		Coarse:        coarse,
+		Family:        fam,
+		Attention:     attention,
+		Tuned:         tuned,
+		UnknownWeight: wU,
+		Final:         final,
+	}
+}
+
+// scoreWeighting is Algorithm 1 (multi-label score weighting): features of
+// the same family as the best coarse prediction φ receive the bonus w/s,
+// every other feature the penalty (1−w)/(1−s).
+func scoreWeighting(gamma, coarse []float64, layout probe.Layout, fam probe.Family) []float64 {
+	tuned := append([]float64(nil), gamma...)
+	// p ← indices of features with the same family as φ.
+	var p []int
+	for j := range gamma {
+		if layout.FamilyOf(j) == fam {
+			p = append(p, j)
+		}
+	}
+	if len(p) == 0 {
+		// φ is the nominal family: no feature belongs to it.
+		return tuned
+	}
+	// w ← y_φ / Σ y; s ← Σ_{j∈p} γ̂_j.
+	var ysum float64
+	for _, y := range coarse {
+		ysum += y
+	}
+	w := coarse[fam] / ysum
+	var s float64
+	for _, j := range p {
+		s += gamma[j]
+	}
+	if s == 0 || s == 1 {
+		return tuned // extreme cases: keep γ̂ unchanged
+	}
+	inP := make(map[int]bool, len(p))
+	for _, j := range p {
+		inP[j] = true
+	}
+	for j := range tuned {
+		if inP[j] {
+			tuned[j] = gamma[j] * w / s
+		} else {
+			tuned[j] = gamma[j] * (1 - w) / (1 - s)
+		}
+	}
+	return tuned
+}
+
+// auxScores evaluates the auxiliary forest on the sample and re-indexes
+// its full-layout scores onto the inference layout. Landmarks absent from
+// the inference layout are zero-filled, mirroring the extensible-forest
+// missing-value policy.
+func (m *Model) auxScores(features []float64, layout probe.Layout) []float64 {
+	full := m.FullLayout
+	fullVec := make([]float64, full.NumFeatures())
+	for pos, region := range full.Landmarks {
+		if lp := layout.LandmarkPos(region); lp >= 0 {
+			for mt := 0; mt < int(probe.NumMetrics); mt++ {
+				fullVec[full.FeatureIndex(pos, probe.Metric(mt))] = features[layout.FeatureIndex(lp, probe.Metric(mt))]
+			}
+		}
+	}
+	for li := 0; li < probe.NumLocal; li++ {
+		fullVec[full.LocalIndex(li)] = features[layout.LocalIndex(li)]
+	}
+	scores := m.Aux.Scores(fullVec)
+
+	out := make([]float64, layout.NumFeatures())
+	for j := range out {
+		if layout.IsLocal(j) {
+			out[j] = scores[full.LocalIndex(j-layout.NumLandmarks()*int(probe.NumMetrics))]
+			continue
+		}
+		region := layout.Landmarks[j/int(probe.NumMetrics)]
+		metric := probe.Metric(j % int(probe.NumMetrics))
+		out[j] = scores[full.FeatureIndex(full.LandmarkPos(region), metric)]
+	}
+	return out
+}
+
+// CoarsePredict returns only the coarse family distribution for a raw
+// sample (step ④), without running attention or the ensemble.
+func (m *Model) CoarsePredict(features []float64, layout probe.Layout) []float64 {
+	normed := m.Norm.Apply(features, layout)
+	x := make([]float64, len(normed))
+	copy(x, normed)
+	logits := m.Net.Forward(matFromRow(x))
+	return nn.Softmax(logits).Row(0)
+}

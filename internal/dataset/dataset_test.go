@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+func genSmall(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	return Generate(GenConfig{
+		World:          w,
+		NominalSamples: 200,
+		FaultSamples:   400,
+		Seed:           seed,
+	})
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := genSmall(t, 1)
+	if d.Len() < 500 {
+		t.Fatalf("only %d samples", d.Len())
+	}
+	if d.Layout.NumFeatures() != 55 {
+		t.Fatalf("layout m = %d", d.Layout.NumFeatures())
+	}
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		if len(s.Features) != 55 {
+			t.Fatalf("sample %d has %d features", i, len(s.Features))
+		}
+		if s.Degraded {
+			if s.Cause < 0 || s.Cause >= 55 || s.Family == probe.FamNominal || s.FaultRegion < 0 {
+				t.Fatalf("degraded sample with bad labels: %+v", s)
+			}
+		} else {
+			if s.Cause != -1 || s.Family != probe.FamNominal {
+				t.Fatalf("nominal sample with cause: %+v", s)
+			}
+		}
+	}
+}
+
+func TestGenerateHasBothKinds(t *testing.T) {
+	d := genSmall(t, 2)
+	c := d.Count(netsim.HiddenLandmarks())
+	if c.Nominal == 0 || c.Degraded == 0 {
+		t.Fatalf("counts %+v", c)
+	}
+	if c.Total != d.Len() {
+		t.Fatal("count total mismatch")
+	}
+	// Some injected faults must not degrade QoE (paper: flagged nominal).
+	injectedButNominal := 0
+	for i := range d.Samples {
+		if !d.Samples[i].Degraded && len(d.Samples[i].Injected) > 0 {
+			injectedButNominal++
+		}
+	}
+	if injectedButNominal == 0 {
+		t.Fatal("every injected fault degraded QoE; simulator unrealistically harsh")
+	}
+}
+
+func TestGenerateCoversFamiliesAndRegions(t *testing.T) {
+	d := genSmall(t, 3)
+	fams := map[probe.Family]int{}
+	regions := map[int]int{}
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		if s.Degraded {
+			fams[s.Family]++
+			regions[s.FaultRegion]++
+		}
+	}
+	for f := probe.FamUplink; f < probe.NumFamilies; f++ {
+		if fams[f] == 0 {
+			t.Fatalf("family %v never the root cause", f)
+		}
+	}
+	for _, r := range netsim.FaultRegions() {
+		if regions[r] == 0 {
+			t.Fatalf("region %d never the root cause", r)
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	d1 := genSmall(t, 4)
+	runtime.GOMAXPROCS(4)
+	d2 := genSmall(t, 4)
+	runtime.GOMAXPROCS(old)
+	if d1.Len() != d2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Samples {
+		a, b := d1.Samples[i], d2.Samples[i]
+		if a.Client != b.Client || a.Service != b.Service || a.Cause != b.Cause {
+			t.Fatalf("sample %d differs", i)
+		}
+		for j := range a.Features {
+			if a.Features[j] != b.Features[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSplitHidesHiddenRegionFaults(t *testing.T) {
+	d := genSmall(t, 5)
+	hidden := netsim.HiddenLandmarks()
+	train, test := d.Split(0.8, hidden, 7)
+	for i := range train.Samples {
+		if train.Samples[i].HasFaultIn(hidden) {
+			t.Fatal("hidden-region fault leaked into training")
+		}
+	}
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatal("split loses samples")
+	}
+	// Test set must contain hidden-fault degraded samples.
+	found := false
+	for i := range test.Samples {
+		if test.Samples[i].Degraded && test.Samples[i].HasFaultIn(hidden) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no hidden-fault degraded samples in test set")
+	}
+	// Roughly 80/20 on the non-hidden portion.
+	nonHidden := 0
+	for i := range d.Samples {
+		if !d.Samples[i].HasFaultIn(hidden) {
+			nonHidden++
+		}
+	}
+	got := float64(train.Len()) / float64(nonHidden)
+	if got < 0.75 || got > 0.85 {
+		t.Fatalf("train fraction %v", got)
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	d := genSmall(t, 6)
+	svc0 := d.FilterService(0)
+	if svc0.Len() == 0 {
+		t.Fatal("no samples for service 0")
+	}
+	for i := range svc0.Samples {
+		if svc0.Samples[i].Service != 0 {
+			t.Fatal("FilterService leaked other services")
+		}
+	}
+	deg := d.Degraded()
+	for i := range deg.Samples {
+		if !deg.Samples[i].Degraded {
+			t.Fatal("Degraded() leaked nominal samples")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := genSmall(t, 8)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.Layout.NumFeatures() != d.Layout.NumFeatures() {
+		t.Fatal("round trip lost data")
+	}
+	if got.Samples[0].Cause != d.Samples[0].Cause {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestClientRegionRestriction(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	active := []int{netsim.AMST, netsim.SING}
+	d := Generate(GenConfig{
+		World:          w,
+		ClientRegions:  active,
+		NominalSamples: 50,
+		FaultSamples:   200,
+		Seed:           9,
+	})
+	for i := range d.Samples {
+		c := d.Samples[i].Client
+		if c != netsim.AMST && c != netsim.SING {
+			t.Fatalf("client %d outside active regions", c)
+		}
+	}
+}
+
+func TestGatewayFaultSamplesHaveLocalCause(t *testing.T) {
+	d := genSmall(t, 10)
+	layout := d.Layout
+	found := false
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		if s.Degraded && s.FaultKind == int(netsim.FaultGatewayDelay) {
+			found = true
+			if s.Cause != layout.LocalIndex(probe.LocalGatewayRTT) {
+				t.Fatalf("gateway fault cause = %d", s.Cause)
+			}
+			if s.Client != s.FaultRegion {
+				t.Fatal("gateway fault observed by a client outside the fault region")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no degraded gateway-fault samples generated")
+	}
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"diagnet/internal/netsim"
+)
+
+// ExportCSV writes the dataset as CSV with named feature columns plus the
+// label columns, for analysis in external tooling (pandas, R, gnuplot).
+func (d *Dataset) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"service", "client", "tick", "degraded", "cause", "cause_name", "family", "fault_region", "fault_kind"}
+	for i := 0; i < d.Layout.NumFeatures(); i++ {
+		header = append(header, d.Layout.FeatureName(i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	regions := netsim.DefaultRegions()
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		causeName, faultRegion := "", ""
+		if s.Cause >= 0 {
+			causeName = d.Layout.FeatureName(s.Cause)
+		}
+		if s.FaultRegion >= 0 && s.FaultRegion < len(regions) {
+			faultRegion = regions[s.FaultRegion].Name
+		}
+		row := []string{
+			strconv.Itoa(s.Service),
+			regions[s.Client].Name,
+			strconv.FormatInt(s.Tick, 10),
+			strconv.FormatBool(s.Degraded),
+			strconv.Itoa(s.Cause),
+			causeName,
+			s.Family.String(),
+			faultRegion,
+			faultKindName(s.FaultKind),
+		}
+		for _, v := range s.Features {
+			row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func faultKindName(k int) string {
+	if k < 0 {
+		return ""
+	}
+	return fmt.Sprint(netsim.FaultKind(k))
+}

@@ -1,0 +1,28 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"diagnet/internal/probe"
+)
+
+func testLayout() probe.Layout { return probe.FullLayout() }
+
+// FuzzLoad ensures arbitrary bytes never panic the dataset decoder.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	// A valid stream as seed.
+	var buf bytes.Buffer
+	d := &Dataset{Layout: testLayout(), Samples: []Sample{{Features: make([]float64, testLayout().NumFeatures()), Cause: -1, FaultRegion: -1, FaultKind: -1}}}
+	_ = d.Save(&buf)
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil dataset without error")
+		}
+	})
+}

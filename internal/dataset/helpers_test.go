@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestFilterOtherServices(t *testing.T) {
+	d := genSmall(t, 30)
+	svcID := d.Samples[0].Service
+	others := d.FilterOtherServices(svcID)
+	own := d.FilterService(svcID)
+	if others.Len()+own.Len() != d.Len() {
+		t.Fatal("partition incomplete")
+	}
+	for i := range others.Samples {
+		if others.Samples[i].Service == svcID {
+			t.Fatal("FilterOtherServices leaked the service")
+		}
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	d := genSmall(t, 31)
+	sub := d.SampleN(10, 7)
+	if sub.Len() != 10 {
+		t.Fatalf("len %d", sub.Len())
+	}
+	// Deterministic for the same seed.
+	sub2 := d.SampleN(10, 7)
+	for i := range sub.Samples {
+		if sub.Samples[i].Tick != sub2.Samples[i].Tick || sub.Samples[i].Client != sub2.Samples[i].Client {
+			t.Fatal("SampleN not deterministic")
+		}
+	}
+	// Oversampling returns everything.
+	all := d.SampleN(d.Len()*2, 7)
+	if all.Len() != d.Len() {
+		t.Fatal("oversample should return all")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	d := genSmall(t, 32)
+	a := d.SampleN(5, 1)
+	b := d.SampleN(7, 2)
+	c := a.Concat(b)
+	if c.Len() != 12 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if c.Samples[0].Tick != a.Samples[0].Tick || c.Samples[5].Tick != b.Samples[0].Tick {
+		t.Fatal("order not preserved")
+	}
+	// Concat must not mutate its receivers.
+	if a.Len() != 5 || b.Len() != 7 {
+		t.Fatal("Concat mutated inputs")
+	}
+}

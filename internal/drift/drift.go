@@ -1,0 +1,183 @@
+// Package drift watches a deployed DiagNet model for distribution drift.
+// The paper's premise is that Internet topologies and services evolve
+// continuously (§II-A); a model trained last month may silently stop
+// fitting. The detector compares the model's live coarse-prediction
+// distribution and confidence against a reference window captured at
+// deployment time, using the population stability index (PSI) and a
+// confidence drop, and raises a retraining signal when either exceeds its
+// threshold.
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"diagnet/internal/stats"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// WindowSize is the number of live predictions compared against the
+	// reference (default 200).
+	WindowSize int
+	// PSIThreshold raises the drift signal (conventional rule of thumb:
+	// <0.1 stable, 0.1–0.25 moderate, >0.25 major; default 0.25).
+	PSIThreshold float64
+	// ConfidenceDrop raises the signal when the mean top-1 probability
+	// falls this far below the reference mean (default 0.15).
+	ConfidenceDrop float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 200
+	}
+	if c.PSIThreshold <= 0 {
+		c.PSIThreshold = 0.25
+	}
+	if c.ConfidenceDrop <= 0 {
+		c.ConfidenceDrop = 0.15
+	}
+	return c
+}
+
+// Detector accumulates coarse predictions. Feed it with Observe; Snapshot
+// the reference right after deployment; Status reports drift. Not safe for
+// concurrent use.
+type Detector struct {
+	cfg     Config
+	classes int
+
+	refCounts []float64
+	refConf   stats.Online
+	refSet    bool
+
+	liveCounts []float64
+	liveConf   []float64 // ring of recent top-1 confidences
+	livePreds  []int     // ring of recent arg-max classes
+	pos        int
+	filled     bool
+}
+
+// NewDetector creates a detector over `classes` coarse classes.
+func NewDetector(classes int, cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg:        cfg,
+		classes:    classes,
+		refCounts:  make([]float64, classes),
+		liveCounts: make([]float64, classes),
+		liveConf:   make([]float64, cfg.WindowSize),
+		livePreds:  make([]int, cfg.WindowSize),
+	}
+}
+
+// Observe folds one coarse prediction (softmax distribution) into the
+// detector.
+func (d *Detector) Observe(coarse []float64) {
+	if len(coarse) != d.classes {
+		panic(fmt.Sprintf("drift: %d classes, want %d", len(coarse), d.classes))
+	}
+	arg := 0
+	for k, p := range coarse {
+		if p > coarse[arg] {
+			arg = k
+		}
+	}
+	if !d.refSet {
+		d.refCounts[arg]++
+		d.refConf.Add(coarse[arg])
+		return
+	}
+	// Live ring buffer.
+	if d.filled {
+		old := d.livePreds[d.pos]
+		d.liveCounts[old]--
+	}
+	d.livePreds[d.pos] = arg
+	d.liveConf[d.pos] = coarse[arg]
+	d.liveCounts[arg]++
+	d.pos++
+	if d.pos == d.cfg.WindowSize {
+		d.pos = 0
+		d.filled = true
+	}
+}
+
+// Freeze captures the reference distribution: observations so far become
+// the baseline and subsequent ones feed the live window.
+func (d *Detector) Freeze() {
+	d.refSet = true
+}
+
+// liveN returns the live-window sample count.
+func (d *Detector) liveN() int {
+	if d.filled {
+		return d.cfg.WindowSize
+	}
+	return d.pos
+}
+
+// Status is the detector's verdict.
+type Status struct {
+	PSI            float64
+	RefConfidence  float64
+	LiveConfidence float64
+	SamplesRef     int
+	SamplesLive    int
+	Drifted        bool
+	Reason         string
+}
+
+// Status computes the current drift verdict. It needs a frozen reference
+// and at least a half-full live window.
+func (d *Detector) Status() Status {
+	s := Status{
+		RefConfidence: d.refConf.Mean(),
+		SamplesRef:    d.refConf.N(),
+		SamplesLive:   d.liveN(),
+	}
+	if !d.refSet || s.SamplesLive < d.cfg.WindowSize/2 {
+		s.Reason = "insufficient data"
+		return s
+	}
+	var liveConfSum float64
+	for i := 0; i < s.SamplesLive; i++ {
+		liveConfSum += d.liveConf[i]
+	}
+	s.LiveConfidence = liveConfSum / float64(s.SamplesLive)
+	s.PSI = psi(d.refCounts, d.liveCounts[:])
+
+	switch {
+	case s.PSI > d.cfg.PSIThreshold:
+		s.Drifted = true
+		s.Reason = fmt.Sprintf("prediction distribution shifted (PSI %.3f > %.3f)", s.PSI, d.cfg.PSIThreshold)
+	case s.RefConfidence-s.LiveConfidence > d.cfg.ConfidenceDrop:
+		s.Drifted = true
+		s.Reason = fmt.Sprintf("confidence dropped %.2f → %.2f", s.RefConfidence, s.LiveConfidence)
+	default:
+		s.Reason = "stable"
+	}
+	return s
+}
+
+// psi computes the population stability index between two count vectors,
+// with epsilon smoothing for empty buckets.
+func psi(ref, live []float64) float64 {
+	const eps = 1e-4
+	var refN, liveN float64
+	for i := range ref {
+		refN += ref[i]
+		liveN += live[i]
+	}
+	if refN == 0 || liveN == 0 {
+		return 0
+	}
+	var out float64
+	for i := range ref {
+		p := math.Max(ref[i]/refN, eps)
+		q := math.Max(live[i]/liveN, eps)
+		out += (q - p) * math.Log(q/p)
+	}
+	return out
+}

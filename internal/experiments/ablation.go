@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+
+	"diagnet/internal/eval"
+)
+
+// AblationResult quantifies how much each stage of DiagNet's pipeline
+// contributes (DESIGN.md's design-choice study): raw attention (§III-E
+// notes it is inaccurate alone), Algorithm 1 weighting, the auxiliary
+// forest alone, and the full ensemble.
+type AblationResult struct {
+	Variants []string
+	// Recall@1 and Recall@5 per variant, for new and known faults.
+	New1, New5, Known1, Known5 map[string]float64
+}
+
+// Ablation variants.
+const (
+	VariantAttention = "attention only"
+	VariantTuned     = "attention + Algorithm 1"
+	VariantForest    = "auxiliary forest only"
+	VariantFull      = "full DiagNet (ensemble)"
+)
+
+// Ablation evaluates each pipeline stage's scores on the degraded test
+// samples.
+func (l *Lab) Ablation() *AblationResult {
+	res := &AblationResult{
+		Variants: []string{VariantAttention, VariantTuned, VariantForest, VariantFull},
+		New1:     map[string]float64{}, New5: map[string]float64{},
+		Known1: map[string]float64{}, Known5: map[string]float64{},
+	}
+	ranksNew := map[string][]int{}
+	ranksKnown := map[string][]int{}
+	deg := l.Test.Degraded()
+	for i := range deg.Samples {
+		s := &deg.Samples[i]
+		diag := l.ModelFor(s.Service).Diagnose(s.Features, l.Full)
+		scores := map[string][]float64{
+			VariantAttention: diag.Attention,
+			VariantTuned:     diag.Tuned,
+			VariantForest:    l.General.Model.Aux.Scores(s.Features),
+			VariantFull:      diag.Final,
+		}
+		for v, sc := range scores {
+			rank := eval.RankOf(sc, s.Cause)
+			if l.IsNewFault(s) {
+				ranksNew[v] = append(ranksNew[v], rank)
+			} else {
+				ranksKnown[v] = append(ranksKnown[v], rank)
+			}
+		}
+	}
+	for _, v := range res.Variants {
+		res.New1[v] = eval.RecallAtK(ranksNew[v], 1)
+		res.New5[v] = eval.RecallAtK(ranksNew[v], 5)
+		res.Known1[v] = eval.RecallAtK(ranksKnown[v], 1)
+		res.Known5[v] = eval.RecallAtK(ranksKnown[v], 5)
+	}
+	return res
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — contribution of each DiagNet stage\n")
+	t := newTable("variant", "new R@1", "new R@5", "known R@1", "known R@5")
+	for _, v := range r.Variants {
+		t.addRow(v, pct(r.New1[v]), pct(r.New5[v]), pct(r.Known1[v]), pct(r.Known5[v]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"diagnet/internal/eval"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+	"diagnet/internal/stats"
+)
+
+// AvailabilityResult quantifies root-cause extensibility in the *shrinking*
+// direction (§II-D): the same trained models diagnose with only a subset
+// of landmarks responding (maintenance, outages, probing budget).
+type AvailabilityResult struct {
+	Ells []int // landmarks available at inference
+	// Coverage[i] is the fraction of degraded test samples whose root
+	// cause is still representable with Ells[i] landmarks (local causes
+	// always are; remote causes need their landmark present).
+	Coverage []float64
+	// Recall5[model][i] is Recall@5 over representable samples, averaged
+	// over subset draws.
+	Recall5 map[string][]float64
+	Draws   int
+}
+
+// Availability diagnoses the degraded test set under random landmark
+// subsets of decreasing size, using the already-trained lab models.
+func (l *Lab) Availability() *AvailabilityResult {
+	ells := []int{10, 7, 5, 3}
+	const draws = 3
+	res := &AvailabilityResult{
+		Ells:     ells,
+		Coverage: make([]float64, len(ells)),
+		Recall5:  map[string][]float64{},
+		Draws:    draws,
+	}
+	for _, model := range Models() {
+		res.Recall5[model] = make([]float64, len(ells))
+	}
+	deg := l.Test.Degraded()
+	full := l.Full
+
+	for ei, ell := range ells {
+		var coverage stats.Online
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for draw := 0; draw < draws; draw++ {
+			rng := stats.NewRand(l.Profile.DataSeed+900, int64(ei*10+draw))
+			perm := rng.Perm(netsim.NumRegions)
+			layout := probe.NewLayout(perm[:ell])
+
+			ranks := map[string][]int{}
+			representable, total := 0, 0
+			for i := range deg.Samples {
+				s := &deg.Samples[i]
+				total++
+				// Re-index the cause under the sub-layout.
+				cause, ok := subCause(full, layout, s.Cause)
+				if !ok {
+					continue
+				}
+				representable++
+				features := full.Project(s.Features, layout)
+				m := l.ModelFor(s.Service)
+				ranks[ModelDiagNet] = append(ranks[ModelDiagNet],
+					eval.RankOf(m.Diagnose(features, layout).Final, cause))
+				// Baselines evaluate on zero-filled full vectors but are
+				// ranked over the sub-layout's causes for comparability.
+				rfFull := l.General.Model.Aux.Scores(zeroFillFull(full, layout, features))
+				nbFull := l.NB.Scores(zeroFillFull(full, layout, features))
+				ranks[ModelRF] = append(ranks[ModelRF], eval.RankOf(projectScores(full, layout, rfFull), cause))
+				ranks[ModelNB] = append(ranks[ModelNB], eval.RankOf(projectScores(full, layout, nbFull), cause))
+			}
+			coverage.Add(float64(representable) / float64(total))
+			for model, rs := range ranks {
+				sums[model] += eval.RecallAtK(rs, 5)
+				counts[model]++
+			}
+		}
+		res.Coverage[ei] = coverage.Mean()
+		for _, model := range Models() {
+			if counts[model] > 0 {
+				res.Recall5[model][ei] = sums[model] / float64(counts[model])
+			}
+		}
+	}
+	return res
+}
+
+// subCause maps a full-layout cause index onto a sub-layout, reporting
+// whether it is representable there.
+func subCause(full, sub probe.Layout, cause int) (int, bool) {
+	if full.IsLocal(cause) {
+		return sub.LocalIndex(cause - full.NumLandmarks()*int(probe.NumMetrics)), true
+	}
+	region := full.Landmarks[cause/int(probe.NumMetrics)]
+	pos := sub.LandmarkPos(region)
+	if pos < 0 {
+		return -1, false
+	}
+	return sub.FeatureIndex(pos, probe.Metric(cause%int(probe.NumMetrics))), true
+}
+
+// zeroFillFull expands sub-layout features to the full layout with zeros
+// for missing landmarks (the baselines' missing-value policy).
+func zeroFillFull(full, sub probe.Layout, features []float64) []float64 {
+	out := make([]float64, full.NumFeatures())
+	for pos, region := range full.Landmarks {
+		if lp := sub.LandmarkPos(region); lp >= 0 {
+			for m := 0; m < int(probe.NumMetrics); m++ {
+				out[full.FeatureIndex(pos, probe.Metric(m))] = features[sub.FeatureIndex(lp, probe.Metric(m))]
+			}
+		}
+	}
+	for li := 0; li < probe.NumLocal; li++ {
+		out[full.LocalIndex(li)] = features[sub.LocalIndex(li)]
+	}
+	return out
+}
+
+// projectScores extracts a full-layout score vector onto the sub-layout.
+func projectScores(full, sub probe.Layout, scores []float64) []float64 {
+	out := make([]float64, sub.NumFeatures())
+	for j := range out {
+		if sub.IsLocal(j) {
+			out[j] = scores[full.LocalIndex(j-sub.NumLandmarks()*int(probe.NumMetrics))]
+			continue
+		}
+		region := sub.Landmarks[j/int(probe.NumMetrics)]
+		out[j] = scores[full.FeatureIndex(full.LandmarkPos(region), probe.Metric(j%int(probe.NumMetrics)))]
+	}
+	return out
+}
+
+// String renders the availability table.
+func (r *AvailabilityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Landmark availability (§II-D): Recall@5 on representable causes, avg over %d subset draws\n", r.Draws)
+	headers := []string{"model"}
+	for i, ell := range r.Ells {
+		headers = append(headers, fmt.Sprintf("ℓ=%d (cov %.0f%%)", ell, 100*r.Coverage[i]))
+	}
+	t := newTable(headers...)
+	for _, model := range Models() {
+		cells := []string{model}
+		for _, v := range r.Recall5[model] {
+			cells = append(cells, pct(v))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CSV renders the availability sweep.
+func (r *AvailabilityResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,landmarks,coverage,recall5\n")
+	for _, model := range Models() {
+		for i, ell := range r.Ells {
+			fmt.Fprintf(&b, "%s,%d,%.4f,%.4f\n", model, ell, r.Coverage[i], r.Recall5[model][i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAvailabilitySweep(t *testing.T) {
+	l := quickLab(t)
+	r := l.Availability()
+	if len(r.Ells) == 0 || r.Ells[0] != 10 {
+		t.Fatalf("ells %v", r.Ells)
+	}
+	// Coverage: full layout represents everything; it shrinks with ℓ.
+	if r.Coverage[0] < 0.999 {
+		t.Fatalf("full-layout coverage %v", r.Coverage[0])
+	}
+	// Coverage shrinks with ℓ only in expectation (subsets are random per
+	// level); require the smallest ℓ to cover strictly less than full.
+	last := r.Coverage[len(r.Coverage)-1]
+	if last >= r.Coverage[0] {
+		t.Fatalf("coverage did not shrink: %v", r.Coverage)
+	}
+	for _, c := range r.Coverage {
+		if c < 0 || c > 1 {
+			t.Fatalf("coverage out of range: %v", r.Coverage)
+		}
+	}
+	for _, model := range Models() {
+		for i, v := range r.Recall5[model] {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s recall[%d] = %v", model, i, v)
+			}
+		}
+	}
+	// DiagNet must stay usable at reduced availability.
+	if r.Recall5[ModelDiagNet][1] < 0.3 {
+		t.Fatalf("DiagNet Recall@5 at ℓ=7 is %v", r.Recall5[ModelDiagNet][1])
+	}
+	if r.String() == "" || r.CSV() == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestPerService(t *testing.T) {
+	l := quickLab(t)
+	r := l.PerService()
+	if len(r.Rows) == 0 {
+		t.Fatal("no services evaluated")
+	}
+	for _, row := range r.Rows {
+		if row.N < 5 {
+			t.Fatalf("%s: below minimum support", row.Name)
+		}
+		for _, v := range []float64{row.GeneralR1, row.SpecialR1, row.GeneralMRR, row.SpecialMRR} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: metric out of range %v", row.Name, v)
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "specialized R@1") || r.CSV() == "" {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestDisentangleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two extra pipelines")
+	}
+	p := Quick()
+	r := Disentangle(p, nil)
+	for _, cond := range []string{"clean", "noisy"} {
+		for _, model := range Models() {
+			v := r.Recall[cond][model]
+			if v[0] < 0 || v[0] > 1 || v[1] < v[0] {
+				t.Fatalf("%s/%s recall %v", cond, model, v)
+			}
+		}
+	}
+	if r.String() == "" || r.CSV() == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestRobustnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one pipeline per seed")
+	}
+	p := Quick()
+	r := Robustness(p, 2, nil)
+	if r.Seeds != 2 {
+		t.Fatalf("seeds %d", r.Seeds)
+	}
+	for _, m := range Models() {
+		if r.R1Mean[m] < 0 || r.R1Mean[m] > 1 || r.R1Std[m] < 0 {
+			t.Fatalf("%s stats out of range: %v ± %v", m, r.R1Mean[m], r.R1Std[m])
+		}
+	}
+	if r.String() == "" || r.CSV() == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestHyperparamsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains per variant")
+	}
+	l := quickLab(t)
+	r := l.Hyperparams()
+	if len(r.Rows) < 5 {
+		t.Fatalf("%d variants", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Epochs == 0 || row.Duration == 0 {
+			t.Fatalf("row %+v incomplete", row)
+		}
+		if row.Recall5 < row.Recall1 {
+			t.Fatalf("row %s: recall curve inverted", row.Label)
+		}
+	}
+	if r.String() == "" || r.CSV() == "" {
+		t.Fatal("render empty")
+	}
+}

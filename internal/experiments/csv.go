@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"diagnet/internal/netsim"
+)
+
+// CSV emitters: every figure result can render the plottable series behind
+// its text report, one line per data point, for external plotting tools.
+
+// CSV renders Fig. 5 as group,model,k,recall rows.
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("group,model,k,recall\n")
+	emit := func(group string, data map[string][]float64) {
+		for _, model := range Models() {
+			for k, v := range data[model] {
+				fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", group, model, k+1, v)
+			}
+		}
+	}
+	emit("new", r.New)
+	emit("known", r.Known)
+	emit("combined", r.Combined)
+	return b.String()
+}
+
+// CSV renders Fig. 6 as axis,group,model,recall rows.
+func (r *Fig6Result) CSV() string {
+	regions := netsim.DefaultRegions()
+	var b strings.Builder
+	b.WriteString("axis,group,model,recall\n")
+	for _, model := range Models() {
+		for _, fam := range r.Families {
+			fmt.Fprintf(&b, "family,%s,%s,%.4f\n", fam, model, r.ByFamily[model][fam])
+		}
+		for _, reg := range r.Regions {
+			name := regions[reg].Name
+			if r.Hidden[reg] {
+				name += "*"
+			}
+			fmt.Fprintf(&b, "region,%s,%s,%.4f\n", name, model, r.ByRegion[model][reg])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 7 as split,family,f1 rows plus accuracy summary rows.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("split,metric,family,value\n")
+	for _, fam := range r.Families {
+		fmt.Fprintf(&b, "new,f1,%s,%.4f\n", fam, r.F1New[fam])
+		fmt.Fprintf(&b, "known,f1,%s,%.4f\n", fam, r.F1Known[fam])
+	}
+	fmt.Fprintf(&b, "new,accuracy,,%.4f\n", r.AccNew)
+	fmt.Fprintf(&b, "new,accuracy_stderr,,%.4f\n", r.AccNewStdErr)
+	fmt.Fprintf(&b, "known,accuracy,,%.4f\n", r.AccKnown)
+	fmt.Fprintf(&b, "known,accuracy_stderr,,%.4f\n", r.AccKnownStd)
+	return b.String()
+}
+
+// CSV renders Fig. 8 as model,regions,recall5 rows.
+func (r *Fig8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,active_regions,recall5\n")
+	for _, model := range Models() {
+		for li, lv := range r.Levels {
+			fmt.Fprintf(&b, "%s,%d,%.4f\n", model, lv, r.Recall[model][li])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 9's learning curves as model,epoch,split,loss rows.
+func (r *Fig9Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,epoch,split,loss\n")
+	for e, v := range r.GeneralTrainLoss {
+		fmt.Fprintf(&b, "general,%d,train,%.5f\n", e, v)
+	}
+	for e, v := range r.GeneralValLoss {
+		fmt.Fprintf(&b, "general,%d,val,%.5f\n", e, v)
+	}
+	for _, svc := range r.Services {
+		for e, v := range r.SpecTrain[svc] {
+			fmt.Fprintf(&b, "svc%d,%d,train,%.5f\n", svc, e, v)
+		}
+		for e, v := range r.SpecVal[svc] {
+			fmt.Fprintf(&b, "svc%d,%d,val,%.5f\n", svc, e, v)
+		}
+	}
+	fmt.Fprintf(&b, "# total_params,%d\n", r.TotalParams)
+	fmt.Fprintf(&b, "# trainable_spec_params,%d\n", r.TrainableSpecParams)
+	fmt.Fprintf(&b, "# general_train_ms,%d\n", r.GeneralTrainTime/time.Millisecond)
+	fmt.Fprintf(&b, "# specialize_mean_ms,%d\n", r.SpecializeTimeMean/time.Millisecond)
+	fmt.Fprintf(&b, "# inference_mean_us,%d\n", r.InferenceMean/time.Microsecond)
+	return b.String()
+}
+
+// CSV renders Fig. 10 as model,ground_truth,prediction,fraction rows.
+func (r *Fig10Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,ground_truth,prediction,fraction\n")
+	emit := func(model string, cells map[Fig10GroundTruth]*Fig10Cell) {
+		for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+			c := cells[gt]
+			if c.N == 0 {
+				continue
+			}
+			n := float64(c.N)
+			fmt.Fprintf(&b, "%s,%s,BEAU,%.4f\n", model, gt, float64(c.PredBeau)/n)
+			fmt.Fprintf(&b, "%s,%s,GRAV,%.4f\n", model, gt, float64(c.PredGrav)/n)
+			fmt.Fprintf(&b, "%s,%s,other,%.4f\n", model, gt, float64(c.PredOther)/n)
+			fmt.Fprintf(&b, "%s,%s,recall,%.4f\n", model, gt, c.Recall)
+		}
+	}
+	emit("general", r.General)
+	emit("specialized", r.Specialized)
+	return b.String()
+}
+
+// CSV renders the ablation as variant,group,k,recall rows.
+func (r *AblationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("variant,group,k,recall\n")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, "%s,new,1,%.4f\n", v, r.New1[v])
+		fmt.Fprintf(&b, "%s,new,5,%.4f\n", v, r.New5[v])
+		fmt.Fprintf(&b, "%s,known,1,%.4f\n", v, r.Known1[v])
+		fmt.Fprintf(&b, "%s,known,5,%.4f\n", v, r.Known5[v])
+	}
+	return b.String()
+}
+
+// CSV renders the hyperparameter sweep.
+func (r *HyperparamResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("variant,ops,filters,acc_known,acc_new,recall1,recall5,epochs,train_ms\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%q,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d\n",
+			row.Label, row.Ops, row.Filters, row.AccKnown, row.AccNew,
+			row.Recall1, row.Recall5, row.Epochs, row.Duration/time.Millisecond)
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The lab is expensive; build it once for the whole package.
+var sharedLab *Lab
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments lab skipped in -short mode")
+	}
+	if sharedLab == nil {
+		sharedLab = NewLab(Quick(), nil)
+	}
+	return sharedLab
+}
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{Quick(), Default(), Paper()} {
+		if p.NominalSamples <= 0 || p.FaultSamples <= 0 || len(p.Fig8Levels) == 0 {
+			t.Fatalf("profile %s incomplete: %+v", p.Name, p)
+		}
+	}
+	if Paper().NominalSamples != 213000 || Paper().FaultSamples != 30000 {
+		t.Fatal("paper profile must match §IV-A-e dataset scale")
+	}
+}
+
+func TestLabConstruction(t *testing.T) {
+	l := quickLab(t)
+	if len(l.Known) != 7 || len(l.Hidden) != 3 {
+		t.Fatalf("known/hidden = %d/%d", len(l.Known), len(l.Hidden))
+	}
+	if len(l.HiddenFault) != 2 {
+		t.Fatalf("hidden fault regions = %v (want GRAV, SEAT)", l.HiddenFault)
+	}
+	if l.Train.Len() == 0 || l.Test.Len() == 0 {
+		t.Fatal("empty split")
+	}
+	if len(l.Specialized) == 0 {
+		t.Fatal("no specialized models")
+	}
+	if l.NB == nil {
+		t.Fatal("no NB baseline")
+	}
+}
+
+func TestFig5ShapesHold(t *testing.T) {
+	l := quickLab(t)
+	r := l.Fig5()
+	if r.NNew == 0 || r.NKnown == 0 {
+		t.Fatalf("missing groups: new=%d known=%d", r.NNew, r.NKnown)
+	}
+	// Recall curves are monotone in k for every model.
+	for _, m := range Models() {
+		for _, curve := range [][]float64{r.New[m], r.Known[m], r.Combined[m]} {
+			for k := 1; k < len(curve); k++ {
+				if curve[k] < curve[k-1] {
+					t.Fatalf("%s recall curve not monotone: %v", m, curve)
+				}
+			}
+		}
+	}
+	// Core paper claims: RF near-ideal on known landmarks; DiagNet beats RF
+	// on new landmarks; DiagNet respectable everywhere.
+	if r.Known[ModelRF][4] < 0.7 {
+		t.Fatalf("RF Recall@5 on known = %v; expected near-ideal", r.Known[ModelRF][4])
+	}
+	if r.New[ModelDiagNet][4] <= r.New[ModelRF][4] {
+		t.Fatalf("DiagNet (%v) must beat RF (%v) on new landmarks",
+			r.New[ModelDiagNet][4], r.New[ModelRF][4])
+	}
+	if r.Combined[ModelDiagNet][4] < 0.4 {
+		t.Fatalf("DiagNet combined Recall@5 = %v too low", r.Combined[ModelDiagNet][4])
+	}
+	if !strings.Contains(r.String(), "Recall@1") && !strings.Contains(r.String(), "R@1") {
+		t.Fatal("render misses recall columns")
+	}
+}
+
+func TestFig6Coverage(t *testing.T) {
+	l := quickLab(t)
+	r := l.Fig6()
+	if len(r.Families) < 4 {
+		t.Fatalf("only %d families represented", len(r.Families))
+	}
+	if len(r.Regions) < 4 {
+		t.Fatalf("only %d regions represented", len(r.Regions))
+	}
+	out := r.String()
+	if !strings.Contains(out, "★") {
+		t.Fatal("hidden regions not starred")
+	}
+	for _, m := range Models() {
+		for _, fam := range r.Families {
+			v := r.ByFamily[m][fam]
+			if v < 0 || v > 1 {
+				t.Fatalf("recall out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestFig7AccuraciesOrdered(t *testing.T) {
+	l := quickLab(t)
+	r := l.Fig7()
+	if r.NNew == 0 || r.NKnown == 0 {
+		t.Fatal("missing splits")
+	}
+	if r.AccKnown < 0.5 {
+		t.Fatalf("known-landmark coarse accuracy %v too low", r.AccKnown)
+	}
+	// Both splits must be far above the 1/7 random-family baseline. (The
+	// paper's known > new ordering is mix-dependent: our "new" region
+	// split is dominated by easy local faults, see DESIGN.md §7.)
+	if r.AccNew < 0.3 {
+		t.Fatalf("new-landmark coarse accuracy %v too low", r.AccNew)
+	}
+	if len(r.Families) == 0 {
+		t.Fatal("no family F1 scores")
+	}
+	if !strings.Contains(r.String(), "±") {
+		t.Fatal("render misses confidence")
+	}
+}
+
+func TestFig9CostsAndTransfer(t *testing.T) {
+	l := quickLab(t)
+	r := l.Fig9()
+	if len(r.GeneralTrainLoss) == 0 {
+		t.Fatal("no general curve")
+	}
+	if len(r.Services) == 0 {
+		t.Fatal("no specialized curves")
+	}
+	if r.TrainableSpecParams >= r.TotalParams {
+		t.Fatal("specialization froze nothing")
+	}
+	if r.InferenceMean <= 0 {
+		t.Fatal("inference not timed")
+	}
+	// Specialized models converge at least as fast as the general model.
+	for _, svc := range r.Services {
+		if r.SpecEpochs[svc] > r.GeneralEpochs+len(r.GeneralTrainLoss) {
+			t.Fatalf("service %d took %d epochs", svc, r.SpecEpochs[svc])
+		}
+	}
+	if !strings.Contains(r.String(), "Parameters") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig10Populated(t *testing.T) {
+	l := quickLab(t)
+	r := l.Fig10()
+	totalN := 0
+	for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+		totalN += r.Specialized[gt].N
+		if r.Specialized[gt].N != r.General[gt].N {
+			t.Fatal("general/specialized sample counts diverge")
+		}
+	}
+	if totalN == 0 {
+		t.Fatal("no simultaneous-fault samples")
+	}
+	for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+		c := r.Specialized[gt]
+		if c.N > 0 && c.PredBeau+c.PredGrav+c.PredOther != c.N {
+			t.Fatal("prediction tallies inconsistent")
+		}
+		if c.Recall < 0 || c.Recall > 1 {
+			t.Fatalf("recall %v out of range", c.Recall)
+		}
+	}
+	if !strings.Contains(r.String(), "BEAU") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	l := quickLab(t)
+	csvs := map[string]string{
+		"fig5":     l.Fig5().CSV(),
+		"fig6":     l.Fig6().CSV(),
+		"fig7":     l.Fig7().CSV(),
+		"fig9":     l.Fig9().CSV(),
+		"fig10":    l.Fig10().CSV(),
+		"ablation": l.Ablation().CSV(),
+	}
+	for name, csv := range csvs {
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: CSV has %d lines", name, len(lines))
+		}
+		header := strings.Split(lines[0], ",")
+		if len(header) < 2 {
+			t.Fatalf("%s: header %q", name, lines[0])
+		}
+		for i, line := range lines[1:] {
+			if strings.HasPrefix(line, "#") {
+				continue // metadata rows (fig9 costs)
+			}
+			if got := len(strings.Split(line, ",")); got != len(header) {
+				t.Fatalf("%s line %d: %d fields, header has %d", name, i+1, got, len(header))
+			}
+		}
+	}
+}
+
+func TestAblationFullBeatsAttentionAlone(t *testing.T) {
+	l := quickLab(t)
+	r := l.Ablation()
+	// §III-E: the attention mechanism alone gives inaccurate results; the
+	// full pipeline must do at least as well on known landmarks.
+	if r.Known5[VariantFull]+1e-9 < r.Known5[VariantAttention] {
+		t.Fatalf("full pipeline (%v) worse than raw attention (%v) on known faults",
+			r.Known5[VariantFull], r.Known5[VariantAttention])
+	}
+	if len(r.Variants) != 4 {
+		t.Fatal("missing variants")
+	}
+	if !strings.Contains(r.String(), "Algorithm 1") {
+		t.Fatal("render incomplete")
+	}
+}

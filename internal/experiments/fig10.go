@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"diagnet/internal/core"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+	"diagnet/internal/qoe"
+	"diagnet/internal/services"
+	"diagnet/internal/stats"
+)
+
+// Fig10GroundTruth classifies which of the two simultaneous latency faults
+// (near BEAU and near GRAV) actually degrade a given (client, service).
+type Fig10GroundTruth int
+
+const (
+	GTBeau Fig10GroundTruth = iota
+	GTGrav
+	GTBoth
+	NumGroundTruths
+)
+
+func (g Fig10GroundTruth) String() string {
+	switch g {
+	case GTBeau:
+		return "BEAU only"
+	case GTGrav:
+		return "GRAV★ only"
+	case GTBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("GT(%d)", int(g))
+	}
+}
+
+// Fig10Cell is the prediction distribution for one ground-truth group.
+type Fig10Cell struct {
+	N         int
+	PredBeau  int
+	PredGrav  int
+	PredOther int
+	Recall    float64 // top-1 hits on the relevant cause(s)
+}
+
+// Fig10Result reproduces Fig. 10: predicted root causes under simultaneous
+// latency faults near BEAU and GRAV, for the general model (a) and the
+// specialized per-service models (b).
+type Fig10Result struct {
+	General     map[Fig10GroundTruth]*Fig10Cell
+	Specialized map[Fig10GroundTruth]*Fig10Cell
+}
+
+// Fig10 injects both latency faults simultaneously, determines per
+// (client, service) which fault(s) are the real root cause, and tallies
+// each model's top-1 predictions.
+func (l *Lab) Fig10() *Fig10Result {
+	env := netsim.Env{Faults: []netsim.Fault{
+		netsim.NewFault(netsim.FaultServiceDelay, netsim.BEAU),
+		netsim.NewFault(netsim.FaultServiceDelay, netsim.GRAV),
+	}}
+	q := qoe.New(l.World)
+	prober := probe.Prober{W: l.World}
+	beauCause, _ := l.Full.CauseOf(env.Faults[0])
+	gravCause, _ := l.Full.CauseOf(env.Faults[1])
+
+	res := &Fig10Result{
+		General:     map[Fig10GroundTruth]*Fig10Cell{},
+		Specialized: map[Fig10GroundTruth]*Fig10Cell{},
+	}
+	for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+		res.General[gt] = &Fig10Cell{}
+		res.Specialized[gt] = &Fig10Cell{}
+	}
+
+	perSvc := l.Profile.Fig10PerService
+	for _, svc := range services.Catalog() {
+		for i := 0; i < perSvc; i++ {
+			rng := stats.NewRand(l.Profile.DataSeed+500, int64(svc.ID*1000+i))
+			client := rng.Intn(netsim.NumRegions)
+			tick := rng.Int63n(960)
+			envT := netsim.Env{Tick: tick, Faults: env.Faults}
+
+			beauHurts := q.Degraded(client, svc, envT.OnlyFault(0))
+			gravHurts := q.Degraded(client, svc, envT.OnlyFault(1))
+			var gt Fig10GroundTruth
+			switch {
+			case beauHurts && gravHurts:
+				gt = GTBoth
+			case beauHurts:
+				gt = GTBeau
+			case gravHurts:
+				gt = GTGrav
+			default:
+				continue // QoE fine; no diagnosis requested
+			}
+			features := prober.Sample(client, l.Full, envT, rng)
+			tally(res.General[gt], l.General.Model, features, l.Full, beauCause, gravCause, gt)
+			tally(res.Specialized[gt], l.ModelFor(svc.ID), features, l.Full, beauCause, gravCause, gt)
+		}
+	}
+	for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+		finishCell(res.General[gt])
+		finishCell(res.Specialized[gt])
+	}
+	return res
+}
+
+func tally(cell *Fig10Cell, m *core.Model, features []float64, layout probe.Layout, beauCause, gravCause int, gt Fig10GroundTruth) {
+	diag := m.Diagnose(features, layout)
+	top := diag.Ranked()[0]
+	cell.N++
+	switch top {
+	case beauCause:
+		cell.PredBeau++
+	case gravCause:
+		cell.PredGrav++
+	default:
+		cell.PredOther++
+	}
+	hit := false
+	switch gt {
+	case GTBeau:
+		hit = top == beauCause
+	case GTGrav:
+		hit = top == gravCause
+	case GTBoth:
+		hit = top == beauCause || top == gravCause
+	}
+	if hit {
+		cell.Recall++ // finalized into a fraction by finishCell
+	}
+}
+
+func finishCell(cell *Fig10Cell) {
+	if cell.N > 0 {
+		cell.Recall /= float64(cell.N)
+	}
+}
+
+// String renders the general and specialized tallies.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	render := func(title string, cells map[Fig10GroundTruth]*Fig10Cell) {
+		fmt.Fprintf(&b, "%s\n", title)
+		t := newTable("relevant cause(s)", "n", "→BEAU", "→GRAV★", "→other", "recall")
+		for gt := Fig10GroundTruth(0); gt < NumGroundTruths; gt++ {
+			c := cells[gt]
+			if c.N == 0 {
+				t.addRow(gt.String(), "0", "-", "-", "-", "-")
+				continue
+			}
+			t.addRow(gt.String(), fmt.Sprint(c.N),
+				pct(float64(c.PredBeau)/float64(c.N)),
+				pct(float64(c.PredGrav)/float64(c.N)),
+				pct(float64(c.PredOther)/float64(c.N)),
+				pct(c.Recall))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	render("Fig. 10 (a) — general model, simultaneous latency faults near BEAU and GRAV★", r.General)
+	render("Fig. 10 (b) — specialized models (paper: recall 76% BEAU, 28% GRAV★, 71% both)", r.Specialized)
+	return b.String()
+}

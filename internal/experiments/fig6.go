@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diagnet/internal/eval"
+	"diagnet/internal/netsim"
+	"diagnet/internal/probe"
+)
+
+// Fig6Result reproduces Fig. 6: recall per fault family (top) and per
+// fault region (bottom) for the three models. Hidden regions carry a ★.
+type Fig6Result struct {
+	K int // recall cutoff used per group
+	// ByFamily[model][family] and ByRegion[model][region name].
+	Families []probe.Family
+	Regions  []int
+	ByFamily map[string]map[probe.Family]float64
+	ByRegion map[string]map[int]float64
+	Support  map[string]int // per group label
+	Hidden   map[int]bool
+}
+
+// Fig6 groups degraded test samples by the root cause's fault family and
+// region and computes Recall@1 per group.
+func (l *Lab) Fig6() *Fig6Result {
+	const k = 1
+	res := &Fig6Result{
+		K:        k,
+		ByFamily: map[string]map[probe.Family]float64{},
+		ByRegion: map[string]map[int]float64{},
+		Support:  map[string]int{},
+		Hidden:   map[int]bool{},
+	}
+	for _, r := range l.Hidden {
+		res.Hidden[r] = true
+	}
+	deg := l.Test.Degraded()
+
+	famRanks := map[string]map[probe.Family][]int{}
+	regRanks := map[string]map[int][]int{}
+	for _, model := range Models() {
+		famRanks[model] = map[probe.Family][]int{}
+		regRanks[model] = map[int][]int{}
+	}
+	famSeen := map[probe.Family]bool{}
+	regSeen := map[int]bool{}
+	for i := range deg.Samples {
+		s := &deg.Samples[i]
+		famSeen[s.Family] = true
+		regSeen[s.FaultRegion] = true
+		for _, model := range Models() {
+			rank := eval.RankOf(l.Scores(model, s), s.Cause)
+			famRanks[model][s.Family] = append(famRanks[model][s.Family], rank)
+			regRanks[model][s.FaultRegion] = append(regRanks[model][s.FaultRegion], rank)
+		}
+	}
+	for fam := range famSeen {
+		res.Families = append(res.Families, fam)
+	}
+	sort.Slice(res.Families, func(a, b int) bool { return res.Families[a] < res.Families[b] })
+	for reg := range regSeen {
+		res.Regions = append(res.Regions, reg)
+	}
+	sort.Ints(res.Regions)
+
+	for _, model := range Models() {
+		res.ByFamily[model] = map[probe.Family]float64{}
+		res.ByRegion[model] = map[int]float64{}
+		for _, fam := range res.Families {
+			res.ByFamily[model][fam] = eval.RecallAtK(famRanks[model][fam], k)
+			res.Support["fam:"+fam.String()] = len(famRanks[model][fam])
+		}
+		for _, reg := range res.Regions {
+			res.ByRegion[model][reg] = eval.RecallAtK(regRanks[model][reg], k)
+			res.Support[fmt.Sprintf("reg:%d", reg)] = len(regRanks[model][reg])
+		}
+	}
+	return res
+}
+
+// String renders both charts as tables.
+func (r *Fig6Result) String() string {
+	regions := netsim.DefaultRegions()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 (top) — Recall@%d per fault family\n", r.K)
+	t := newTable(append([]string{"model"}, famHeaders(r)...)...)
+	for _, model := range Models() {
+		cells := []string{model}
+		for _, fam := range r.Families {
+			cells = append(cells, pct(r.ByFamily[model][fam]))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "Fig. 6 (bottom) — Recall@%d per fault region (★ = hidden during training)\n", r.K)
+	var regHeaders []string
+	for _, reg := range r.Regions {
+		name := regions[reg].Name
+		if r.Hidden[reg] {
+			name += "★"
+		}
+		regHeaders = append(regHeaders, name)
+	}
+	t = newTable(append([]string{"model"}, regHeaders...)...)
+	for _, model := range Models() {
+		cells := []string{model}
+		for _, reg := range r.Regions {
+			cells = append(cells, pct(r.ByRegion[model][reg]))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func famHeaders(r *Fig6Result) []string {
+	var hs []string
+	for _, fam := range r.Families {
+		hs = append(hs, fam.String())
+	}
+	return hs
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"diagnet/internal/core"
+	"diagnet/internal/dataset"
+	"diagnet/internal/eval"
+	"diagnet/internal/netsim"
+	"diagnet/internal/stats"
+)
+
+// Fig8Result reproduces Fig. 8: Recall@5 for faults near new landmarks as
+// the diversity of participating clients grows (number of regions with
+// active clients).
+type Fig8Result struct {
+	K      int
+	Levels []int
+	// Recall[model][level index], averaged over region combinations.
+	Recall map[string][]float64
+	Combos int
+}
+
+// Fig8 retrains a full pipeline (DiagNet + both baselines) per diversity
+// level and region combination, then averages Recall@5 on new-landmark
+// faults. The paper measured every combination of active clients; we
+// sample Profile.Fig8Combos seeded combinations per level.
+func (l *Lab) Fig8() *Fig8Result {
+	p := l.Profile
+	res := &Fig8Result{
+		K:      5,
+		Levels: p.Fig8Levels,
+		Recall: map[string][]float64{},
+		Combos: p.Fig8Combos,
+	}
+	for _, model := range Models() {
+		res.Recall[model] = make([]float64, len(p.Fig8Levels))
+	}
+
+	for li, level := range p.Fig8Levels {
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for combo := 0; combo < p.Fig8Combos; combo++ {
+			l.logf("fig8: diversity %d clients, combo %d/%d", level, combo+1, p.Fig8Combos)
+			rng := stats.NewRand(p.DataSeed+100, int64(li*97+combo))
+			perm := rng.Perm(netsim.NumRegions)
+			active := append([]int(nil), perm[:level]...)
+
+			recalls := l.fig8Pipeline(active, int64(combo))
+			for model, r := range recalls {
+				sums[model] += r
+				counts[model]++
+			}
+		}
+		for _, model := range Models() {
+			if counts[model] > 0 {
+				res.Recall[model][li] = sums[model] / float64(counts[model])
+			}
+		}
+	}
+	return res
+}
+
+// fig8Pipeline trains all three models on a dataset restricted to the
+// active client regions and returns Recall@5 on new-landmark faults.
+func (l *Lab) fig8Pipeline(active []int, stream int64) map[string]float64 {
+	p := l.Profile
+	data := dataset.Generate(dataset.GenConfig{
+		World:          l.World,
+		ClientRegions:  active,
+		NominalSamples: p.Fig8Nominal,
+		FaultSamples:   p.Fig8Fault,
+		Seed:           p.DataSeed + 31*stream + 7,
+	})
+	train, test := data.Split(0.8, l.Hidden, p.SplitSeed+stream)
+	if train.Len() == 0 {
+		return nil
+	}
+	general := core.TrainGeneral(train, l.Known, p.Config)
+	// Specialize for the services that actually appear in the test split.
+	specialized := map[int]*core.Model{}
+	svcSeen := map[int]bool{}
+	for i := range test.Samples {
+		if test.Samples[i].Degraded {
+			svcSeen[test.Samples[i].Service] = true
+		}
+	}
+	for svc := range svcSeen {
+		if train.FilterService(svc).Len() > 0 {
+			specialized[svc] = general.Model.Specialize(train, svc).Model
+		}
+	}
+	nb := trainNB(train, l.Known)
+
+	ranks := map[string][]int{}
+	deg := test.Degraded()
+	for i := range deg.Samples {
+		s := &deg.Samples[i]
+		if !l.IsNewFault(s) {
+			continue
+		}
+		m := general.Model
+		if sm, ok := specialized[s.Service]; ok {
+			m = sm
+		}
+		ranks[ModelDiagNet] = append(ranks[ModelDiagNet], eval.RankOf(m.Diagnose(s.Features, l.Full).Final, s.Cause))
+		ranks[ModelRF] = append(ranks[ModelRF], eval.RankOf(general.Model.Aux.Scores(s.Features), s.Cause))
+		ranks[ModelNB] = append(ranks[ModelNB], eval.RankOf(nb.Scores(s.Features), s.Cause))
+	}
+	out := map[string]float64{}
+	for model, rs := range ranks {
+		out[model] = eval.RecallAtK(rs, 5)
+	}
+	return out
+}
+
+// String renders the sweep as a table.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 — Recall@%d for new-landmark faults vs client diversity (avg over %d combos)\n", r.K, r.Combos)
+	headers := []string{"model"}
+	for _, lv := range r.Levels {
+		headers = append(headers, fmt.Sprintf("%d regions", lv))
+	}
+	t := newTable(headers...)
+	for _, model := range Models() {
+		cells := []string{model}
+		for _, v := range r.Recall[model] {
+			cells = append(cells, pct(v))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,275 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) on the simulated deployment: Fig. 5 (Recall@k,
+// new vs known landmarks, three models), Fig. 6 (recall per fault family
+// and region), Fig. 7 (coarse classifier F1), Fig. 8 (client diversity),
+// Fig. 9 (training cost and transferability) and Fig. 10 (simultaneous
+// faults), plus an ablation study of DiagNet's pipeline stages.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"diagnet/internal/bayes"
+	"diagnet/internal/core"
+	"diagnet/internal/dataset"
+	"diagnet/internal/forest"
+	"diagnet/internal/netsim"
+	"diagnet/internal/nn"
+	"diagnet/internal/probe"
+	"diagnet/internal/services"
+)
+
+// Profile sizes an experiment run.
+type Profile struct {
+	Name string
+	// Main dataset sizes (the paper collected 213k nominal + 30k faulty).
+	NominalSamples int
+	FaultSamples   int
+	// Fig. 8 re-trains a pipeline per diversity level; its datasets are
+	// sized separately and averaged over Fig8Combos region subsets.
+	Fig8Nominal, Fig8Fault int
+	Fig8Levels             []int
+	Fig8Combos             int
+	// Fig. 10 samples per (service, ground-truth) cell.
+	Fig10PerService int
+	Config          core.Config
+	WorldSeed       int64
+	DataSeed        int64
+	SplitSeed       int64
+	// BackgroundAnomalies enables spurious link anomalies in the world
+	// (the §II-B disentanglement stressor).
+	BackgroundAnomalies bool
+}
+
+// Quick is a CI-sized profile with a reduced architecture: it exercises
+// every experiment in seconds.
+func Quick() Profile {
+	cfg := core.DefaultConfig()
+	cfg.Filters = 8
+	cfg.Hidden = []int{48, 24}
+	cfg.Epochs = 10
+	cfg.SpecializeEpochs = 4
+	cfg.Forest = forest.Config{Trees: 15, Tree: forest.TreeConfig{MaxDepth: 8}}
+	return Profile{
+		Name:           "quick",
+		NominalSamples: 900, FaultSamples: 2000,
+		Fig8Nominal: 300, Fig8Fault: 700,
+		Fig8Levels:      []int{2, 6, 10},
+		Fig8Combos:      1,
+		Fig10PerService: 6,
+		Config:          cfg,
+		WorldSeed:       1, DataSeed: 11, SplitSeed: 13,
+	}
+}
+
+// Default uses the paper's Table I architecture on a laptop-scale dataset;
+// a full -all run takes minutes on one core.
+func Default() Profile {
+	return Profile{
+		Name:           "default",
+		NominalSamples: 4000, FaultSamples: 7000,
+		Fig8Nominal: 900, Fig8Fault: 2200,
+		Fig8Levels:      []int{1, 2, 4, 7, 10},
+		Fig8Combos:      2,
+		Fig10PerService: 30,
+		Config:          core.DefaultConfig(),
+		WorldSeed:       1, DataSeed: 11, SplitSeed: 13,
+	}
+}
+
+// Paper matches the paper's dataset scale (213k nominal + 30k faulty
+// samples); expect a long run.
+func Paper() Profile {
+	p := Default()
+	p.Name = "paper"
+	p.NominalSamples = 213000
+	p.FaultSamples = 30000
+	p.Fig8Nominal, p.Fig8Fault = 4000, 8000
+	p.Fig10PerService = 40
+	return p
+}
+
+// Lab holds one fully trained pipeline: world, dataset, split, the general
+// and per-service DiagNet models, and both baselines.
+type Lab struct {
+	Profile Profile
+	World   *netsim.World
+	Full    probe.Layout
+	// Known lists the landmark regions visible during training; Hidden
+	// the paper's hidden landmarks; HiddenFault the hidden regions faults
+	// are injected in (GRAV, SEAT).
+	Known       []int
+	Hidden      []int
+	HiddenFault []int
+
+	Data, Train, Test *dataset.Dataset
+
+	General     *core.TrainResult
+	Specialized map[int]*core.Model
+	SpecHist    map[int]*nn.History
+	NB          *bayes.Model
+
+	// Wall-clock costs (§IV-F).
+	GeneralTrainTime   time.Duration
+	SpecializeTimeMean time.Duration
+
+	logf func(string, ...any)
+}
+
+// KnownRegionsOf returns all regions minus the hidden landmark set.
+func KnownRegionsOf(hidden []int) []int {
+	h := map[int]bool{}
+	for _, r := range hidden {
+		h[r] = true
+	}
+	var known []int
+	for r := 0; r < netsim.NumRegions; r++ {
+		if !h[r] {
+			known = append(known, r)
+		}
+	}
+	return known
+}
+
+// NewLab builds the world, generates and splits the dataset, trains the
+// general model, all per-service specialized models, and the Naive Bayes
+// baseline. log receives progress lines (nil silences them).
+func NewLab(p Profile, log func(string, ...any)) *Lab {
+	if log == nil {
+		log = func(string, ...any) {}
+	}
+	l := &Lab{
+		Profile:     p,
+		World:       netsim.NewWorld(netsim.Config{Seed: p.WorldSeed, BackgroundAnomalies: p.BackgroundAnomalies}),
+		Full:        probe.FullLayout(),
+		Hidden:      netsim.HiddenLandmarks(),
+		Specialized: map[int]*core.Model{},
+		SpecHist:    map[int]*nn.History{},
+		logf:        log,
+	}
+	l.Known = KnownRegionsOf(l.Hidden)
+	hiddenSet := map[int]bool{}
+	for _, r := range l.Hidden {
+		hiddenSet[r] = true
+	}
+	for _, r := range netsim.FaultRegions() {
+		if hiddenSet[r] {
+			l.HiddenFault = append(l.HiddenFault, r)
+		}
+	}
+
+	log("generating dataset (%d nominal + %d fault samples)...", p.NominalSamples, p.FaultSamples)
+	l.Data = dataset.Generate(dataset.GenConfig{
+		World:          l.World,
+		NominalSamples: p.NominalSamples,
+		FaultSamples:   p.FaultSamples,
+		Seed:           p.DataSeed,
+	})
+	l.Train, l.Test = l.Data.Split(0.8, l.Hidden, p.SplitSeed)
+	c := l.Data.Count(l.Hidden)
+	tc := l.Test.Count(l.Hidden)
+	log("dataset: %d samples (%d nominal, %d degraded); test degraded %d of which %d (%.0f%%) involve hidden faults",
+		c.Total, c.Nominal, c.Degraded, tc.Degraded, tc.HiddenFaultDegraded,
+		100*float64(tc.HiddenFaultDegraded)/float64(max(1, tc.Degraded)))
+
+	log("training general DiagNet model...")
+	start := time.Now()
+	l.General = core.TrainGeneral(l.Train, l.Known, p.Config)
+	l.GeneralTrainTime = time.Since(start)
+	log("general model: %d epochs in %v", l.General.History.Epochs(), l.GeneralTrainTime.Round(time.Millisecond))
+
+	var specTotal time.Duration
+	for _, svc := range services.Catalog() {
+		if l.Train.FilterService(svc.ID).Len() == 0 {
+			continue
+		}
+		t0 := time.Now()
+		res := l.General.Model.Specialize(l.Train, svc.ID)
+		specTotal += time.Since(t0)
+		l.Specialized[svc.ID] = res.Model
+		l.SpecHist[svc.ID] = res.History
+	}
+	if n := len(l.Specialized); n > 0 {
+		l.SpecializeTimeMean = specTotal / time.Duration(n)
+	}
+	log("specialized %d service models (mean %v each)", len(l.Specialized), l.SpecializeTimeMean.Round(time.Millisecond))
+
+	l.NB = trainNB(l.Train, l.Known)
+	log("baselines ready")
+	return l
+}
+
+// trainNB fits the extensible Naive Bayes baseline on the degraded
+// training samples.
+func trainNB(train *dataset.Dataset, knownRegions []int) *bayes.Model {
+	layout := train.Layout
+	known := map[int]bool{}
+	for _, r := range knownRegions {
+		known[r] = true
+	}
+	mask := layout.KnownFeatureMask(known)
+	fams := make([]int, layout.NumFeatures())
+	for i := range fams {
+		fams[i] = int(layout.FamilyOf(i))
+	}
+	deg := train.Degraded()
+	x := make([][]float64, deg.Len())
+	labels := make([]int, deg.Len())
+	for i := range deg.Samples {
+		x[i] = deg.Samples[i].Features
+		labels[i] = deg.Samples[i].Cause
+	}
+	return bayes.Fit(x, labels, layout.NumFeatures(), fams, mask, bayes.Config{})
+}
+
+// ModelFor returns the specialized model for a service, falling back to the
+// general model.
+func (l *Lab) ModelFor(service int) *core.Model {
+	if m, ok := l.Specialized[service]; ok {
+		return m
+	}
+	return l.General.Model
+}
+
+// Model names used across figures.
+const (
+	ModelDiagNet = "DIAGNET"
+	ModelRF      = "RANDOM FOREST"
+	ModelNB      = "NAIVE BAYES"
+)
+
+// Models lists the three compared systems.
+func Models() []string { return []string{ModelDiagNet, ModelRF, ModelNB} }
+
+// Scores returns the per-feature root-cause scores of a model for a test
+// sample (full layout).
+func (l *Lab) Scores(model string, s *dataset.Sample) []float64 {
+	switch model {
+	case ModelDiagNet:
+		return l.ModelFor(s.Service).Diagnose(s.Features, l.Full).Final
+	case ModelRF:
+		return l.General.Model.Aux.Scores(s.Features)
+	case ModelNB:
+		return l.NB.Scores(s.Features)
+	default:
+		panic(fmt.Sprintf("experiments: unknown model %q", model))
+	}
+}
+
+// IsNewFault reports whether the sample's root-cause feature belongs to a
+// hidden ("new") landmark. Client-side faults map to local features, which
+// every model knows, so they count as known even when the client sits in a
+// hidden region.
+func (l *Lab) IsNewFault(s *dataset.Sample) bool {
+	if s.Cause < 0 || l.Full.IsLocal(s.Cause) {
+		return false
+	}
+	region := l.Full.Landmarks[s.Cause/int(probe.NumMetrics)]
+	for _, r := range l.Hidden {
+		if region == r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diagnet/internal/eval"
+	"diagnet/internal/services"
+)
+
+// PerServiceRow compares the general and the specialized model on one
+// service's degraded test samples.
+type PerServiceRow struct {
+	Service    int
+	Name       string
+	N          int
+	GeneralR1  float64
+	SpecialR1  float64
+	GeneralMRR float64
+	SpecialMRR float64
+}
+
+// PerServiceResult quantifies the per-service specialization benefit
+// (§III-D/§IV-F) service by service.
+type PerServiceResult struct {
+	Rows []PerServiceRow
+}
+
+// PerService evaluates every service with ≥5 degraded test samples.
+func (l *Lab) PerService() *PerServiceResult {
+	catalog := services.Catalog()
+	byService := map[int][]int{}
+	deg := l.Test.Degraded()
+	for i := range deg.Samples {
+		byService[deg.Samples[i].Service] = append(byService[deg.Samples[i].Service], i)
+	}
+	res := &PerServiceResult{}
+	var ids []int
+	for id := range byService {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		idxs := byService[id]
+		if len(idxs) < 5 {
+			continue
+		}
+		spec, ok := l.Specialized[id]
+		if !ok {
+			continue
+		}
+		var gRanks, sRanks []int
+		for _, i := range idxs {
+			s := &deg.Samples[i]
+			gRanks = append(gRanks, eval.RankOf(l.General.Model.Diagnose(s.Features, l.Full).Final, s.Cause))
+			sRanks = append(sRanks, eval.RankOf(spec.Diagnose(s.Features, l.Full).Final, s.Cause))
+		}
+		name := fmt.Sprintf("svc %d", id)
+		if id < len(catalog) {
+			name = catalog[id].Name()
+		}
+		res.Rows = append(res.Rows, PerServiceRow{
+			Service:    id,
+			Name:       name,
+			N:          len(idxs),
+			GeneralR1:  eval.RecallAtK(gRanks, 1),
+			SpecialR1:  eval.RecallAtK(sRanks, 1),
+			GeneralMRR: eval.MRR(gRanks),
+			SpecialMRR: eval.MRR(sRanks),
+		})
+	}
+	return res
+}
+
+// String renders the per-service comparison.
+func (r *PerServiceResult) String() string {
+	var b strings.Builder
+	b.WriteString("Per-service specialization benefit (degraded test samples)\n")
+	t := newTable("service", "n", "general R@1", "specialized R@1", "general MRR", "specialized MRR")
+	for _, row := range r.Rows {
+		t.addRow(row.Name, fmt.Sprint(row.N),
+			pct(row.GeneralR1), pct(row.SpecialR1),
+			fmt.Sprintf("%.3f", row.GeneralMRR), fmt.Sprintf("%.3f", row.SpecialMRR))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CSV renders the per-service comparison.
+func (r *PerServiceResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("service,name,n,general_r1,specialized_r1,general_mrr,specialized_mrr\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%q,%d,%.4f,%.4f,%.4f,%.4f\n",
+			row.Service, row.Name, row.N, row.GeneralR1, row.SpecialR1, row.GeneralMRR, row.SpecialMRR)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"diagnet/internal/stats"
+)
+
+// RobustnessResult reports the across-seed variability of the headline
+// metrics: the paper gives point estimates from one testbed campaign; this
+// experiment quantifies how much our numbers move when the world, dataset
+// and training seeds all change.
+type RobustnessResult struct {
+	Seeds int
+	// Combined R@1 and new-landmark R@5 per model: mean and std across
+	// seeds.
+	R1Mean, R1Std     map[string]float64
+	NewR5Mean, NewStd map[string]float64
+}
+
+// Robustness builds one reduced pipeline per seed and aggregates Fig. 5's
+// headline metrics.
+func Robustness(p Profile, seeds int, log func(string, ...any)) *RobustnessResult {
+	if seeds <= 0 {
+		seeds = 3
+	}
+	res := &RobustnessResult{
+		Seeds:  seeds,
+		R1Mean: map[string]float64{}, R1Std: map[string]float64{},
+		NewR5Mean: map[string]float64{}, NewStd: map[string]float64{},
+	}
+	acc := map[string]*stats.Online{}
+	accNew := map[string]*stats.Online{}
+	for _, m := range Models() {
+		acc[m] = &stats.Online{}
+		accNew[m] = &stats.Online{}
+	}
+	for s := 0; s < seeds; s++ {
+		sub := p
+		sub.Name = fmt.Sprintf("%s/seed%d", p.Name, s)
+		sub.NominalSamples = p.Fig8Nominal
+		sub.FaultSamples = p.Fig8Fault
+		sub.WorldSeed = p.WorldSeed + int64(s)*101
+		sub.DataSeed = p.DataSeed + int64(s)*103
+		sub.SplitSeed = p.SplitSeed + int64(s)*107
+		sub.Config.Seed = p.Config.Seed + int64(s)*109
+		if log != nil {
+			log("robustness: pipeline for seed set %d/%d", s+1, seeds)
+		}
+		lab := NewLab(sub, log)
+		fig5 := lab.Fig5()
+		for _, m := range Models() {
+			acc[m].Add(fig5.Combined[m][0])
+			accNew[m].Add(fig5.New[m][4])
+		}
+	}
+	for _, m := range Models() {
+		res.R1Mean[m] = acc[m].Mean()
+		res.R1Std[m] = acc[m].StdDev()
+		res.NewR5Mean[m] = accNew[m].Mean()
+		res.NewStd[m] = accNew[m].StdDev()
+	}
+	return res
+}
+
+// String renders the across-seed table.
+func (r *RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Across-seed robustness (%d independent worlds/datasets/trainings)\n", r.Seeds)
+	t := newTable("model", "combined R@1", "±", "new R@5", "±")
+	for _, m := range Models() {
+		t.addRow(m, pct(r.R1Mean[m]), fmt.Sprintf("%.1fpp", 100*r.R1Std[m]),
+			pct(r.NewR5Mean[m]), fmt.Sprintf("%.1fpp", 100*r.NewStd[m]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CSV renders the across-seed results.
+func (r *RobustnessResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("model,metric,mean,std\n")
+	for _, m := range Models() {
+		fmt.Fprintf(&b, "%s,combined_recall1,%.4f,%.4f\n", m, r.R1Mean[m], r.R1Std[m])
+		fmt.Fprintf(&b, "%s,new_recall5,%.4f,%.4f\n", m, r.NewR5Mean[m], r.NewStd[m])
+	}
+	return b.String()
+}

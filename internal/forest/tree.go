@@ -1,0 +1,236 @@
+// Package forest implements CART decision trees and random forests with
+// the hyperparameters NetPoirot-style baselines use in the DiagNet paper
+// (Table I: Gini impurity, 50 estimators, maximum depth 10), plus the
+// paper's *extensible* random-forest wrapper (§IV-B-a) that zero-fills
+// missing landmark features and redistributes the score of a special
+// "unknown" class across every concrete root cause.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// node is one tree node. Leaves carry a class distribution; internal nodes
+// carry a split.
+type node struct {
+	// Split (internal nodes): go left when x[Feature] <= Threshold.
+	Feature   int
+	Threshold float64
+	Left      *node
+	Right     *node
+	// Distribution (leaves): class probabilities.
+	Dist []float64
+}
+
+func (n *node) isLeaf() bool { return n.Left == nil }
+
+// TreeConfig controls a single CART tree.
+type TreeConfig struct {
+	MaxDepth int // maximum depth; <=0 means unlimited
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	MinSamplesSplit int
+	// MaxFeatures is the number of candidate features examined per split;
+	// <=0 means floor(sqrt(num features)), the random-forest default.
+	MaxFeatures int
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinSamplesSplit <= 0 {
+		c.MinSamplesSplit = 2
+	}
+	return c
+}
+
+// Tree is a fitted CART decision tree.
+type Tree struct {
+	root    *node
+	classes int
+}
+
+// FitTree grows a tree on rows X (n×m as slices) with integer labels using
+// Gini impurity. idx selects which rows participate (bootstrap support);
+// pass nil for all rows.
+func FitTree(x [][]float64, labels []int, classes int, idx []int, cfg TreeConfig, rng *rand.Rand) *Tree {
+	if len(x) == 0 {
+		panic("forest: FitTree on empty dataset")
+	}
+	if len(x) != len(labels) {
+		panic(fmt.Sprintf("forest: %d rows vs %d labels", len(x), len(labels)))
+	}
+	cfg = cfg.withDefaults()
+	if idx == nil {
+		idx = make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	m := len(x[0])
+	maxFeat := cfg.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(m)))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	if maxFeat > m {
+		maxFeat = m
+	}
+	b := &builder{x: x, labels: labels, classes: classes, cfg: cfg, maxFeat: maxFeat, rng: rng}
+	t := &Tree{classes: classes}
+	t.root = b.grow(idx, 0)
+	return t
+}
+
+type builder struct {
+	x       [][]float64
+	labels  []int
+	classes int
+	cfg     TreeConfig
+	maxFeat int
+	rng     *rand.Rand
+}
+
+func (b *builder) leaf(idx []int) *node {
+	dist := make([]float64, b.classes)
+	for _, i := range idx {
+		dist[b.labels[i]]++
+	}
+	n := float64(len(idx))
+	for k := range dist {
+		dist[k] /= n
+	}
+	return &node{Dist: dist}
+}
+
+func (b *builder) grow(idx []int, depth int) *node {
+	if len(idx) < b.cfg.MinSamplesSplit || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) || b.pure(idx) {
+		return b.leaf(idx)
+	}
+	feat, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return b.leaf(idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return b.leaf(idx)
+	}
+	return &node{
+		Feature:   feat,
+		Threshold: thr,
+		Left:      b.grow(left, depth+1),
+		Right:     b.grow(right, depth+1),
+	}
+}
+
+func (b *builder) pure(idx []int) bool {
+	first := b.labels[idx[0]]
+	for _, i := range idx[1:] {
+		if b.labels[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans a random feature subset for the split with maximal Gini
+// gain. Class counts are updated incrementally so each candidate feature
+// costs O(n log n) for the sort plus O(n) for the scan.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	m := len(b.x[0])
+	feats := b.rng.Perm(m)[:b.maxFeat]
+	n := len(idx)
+
+	// Parent class counts.
+	parent := make([]float64, b.classes)
+	for _, i := range idx {
+		parent[b.labels[i]]++
+	}
+
+	bestGain := 1e-12
+	sorted := make([]int, n)
+	leftCnt := make([]float64, b.classes)
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.x[sorted[a]][f] < b.x[sorted[c]][f] })
+		for k := range leftCnt {
+			leftCnt[k] = 0
+		}
+		// Incremental sum of squared counts for O(1) Gini updates.
+		var leftSq, rightSq float64
+		for _, c := range parent {
+			rightSq += c * c
+		}
+		parentGini := 1 - rightSq/float64(n*n)
+		for i := 0; i < n-1; i++ {
+			k := b.labels[sorted[i]]
+			leftSq += 2*leftCnt[k] + 1
+			leftCnt[k]++
+			rc := parent[k] - leftCnt[k]
+			rightSq -= 2*rc + 1
+			vi, vj := b.x[sorted[i]][f], b.x[sorted[i+1]][f]
+			if vi == vj {
+				continue
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			giniL := 1 - leftSq/(nl*nl)
+			giniR := 1 - rightSq/(nr*nr)
+			gain := parentGini - (nl*giniL+nr*giniR)/float64(n)
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (vi + vj) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// PredictProba returns the class distribution of the leaf x falls into.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Dist
+}
+
+// Predict returns the arg-max class for x.
+func (t *Tree) Predict(x []float64) int {
+	dist := t.PredictProba(x)
+	arg := 0
+	for k, v := range dist {
+		if v > dist[arg] {
+			arg = k
+		}
+	}
+	return arg
+}
+
+// Depth returns the depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n.isLeaf() {
+		return 0
+	}
+	l, r := depthOf(n.Left), depthOf(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,42 @@
+package landmark
+
+import "diagnet/internal/probe"
+
+// LocalMetrics carries the client-side measurements accompanying a probe
+// round (gateway RTT/jitter and host load), the paper's "local features".
+type LocalMetrics struct {
+	GatewayRTTMs    float64
+	GatewayJitterMs float64
+	CPULoad         float64
+	MemLoad         float64
+	IOLoad          float64
+}
+
+// Features flattens live landmark measurements plus local metrics into a
+// DiagNet feature vector in probe-layout order (k = 5 metrics per
+// landmark, then the local block). The loss metric comes from the explicit
+// `loss` slice when given, else from each measurement's kernel-derived
+// LossProxy (getsockopt TCP_INFO, Linux), else zero.
+func Features(ms []Measurement, loss []float64, local LocalMetrics) []float64 {
+	k := int(probe.NumMetrics)
+	out := make([]float64, len(ms)*k+probe.NumLocal)
+	for i, m := range ms {
+		out[i*k+int(probe.MetricRTT)] = m.RTTMs
+		out[i*k+int(probe.MetricJitter)] = m.JitterMs
+		switch {
+		case loss != nil:
+			out[i*k+int(probe.MetricLoss)] = loss[i]
+		case m.LossProxy >= 0:
+			out[i*k+int(probe.MetricLoss)] = m.LossProxy
+		}
+		out[i*k+int(probe.MetricDownBW)] = m.DownMbps
+		out[i*k+int(probe.MetricUpBW)] = m.UpMbps
+	}
+	base := len(ms) * k
+	out[base+probe.LocalGatewayRTT] = local.GatewayRTTMs
+	out[base+probe.LocalGatewayJitter] = local.GatewayJitterMs
+	out[base+probe.LocalCPU] = local.CPULoad
+	out[base+probe.LocalMem] = local.MemLoad
+	out[base+probe.LocalIO] = local.IOLoad
+	return out
+}

@@ -1,0 +1,44 @@
+package landmark
+
+import (
+	"testing"
+
+	"diagnet/internal/probe"
+)
+
+func TestFeaturesLayoutOrder(t *testing.T) {
+	ms := []Measurement{
+		{RTTMs: 10, JitterMs: 1, DownMbps: 50, UpMbps: 30},
+		{RTTMs: 20, JitterMs: 2, DownMbps: 40, UpMbps: 25},
+	}
+	local := LocalMetrics{GatewayRTTMs: 3, GatewayJitterMs: 0.5, CPULoad: 0.2, MemLoad: 0.4, IOLoad: 0.1}
+	x := Features(ms, []float64{0.01, 0.02}, local)
+
+	layout := probe.NewLayout([]int{0, 1})
+	if len(x) != layout.NumFeatures() {
+		t.Fatalf("len %d, want %d", len(x), layout.NumFeatures())
+	}
+	if x[layout.FeatureIndex(1, probe.MetricRTT)] != 20 {
+		t.Fatal("RTT misplaced")
+	}
+	if x[layout.FeatureIndex(0, probe.MetricLoss)] != 0.01 {
+		t.Fatal("loss misplaced")
+	}
+	if x[layout.FeatureIndex(1, probe.MetricUpBW)] != 25 {
+		t.Fatal("upload misplaced")
+	}
+	if x[layout.LocalIndex(probe.LocalGatewayRTT)] != 3 {
+		t.Fatal("gateway RTT misplaced")
+	}
+	if x[layout.LocalIndex(probe.LocalIO)] != 0.1 {
+		t.Fatal("IO load misplaced")
+	}
+}
+
+func TestFeaturesNilLossDefaultsZero(t *testing.T) {
+	x := Features([]Measurement{{RTTMs: 5}}, nil, LocalMetrics{})
+	layout := probe.NewLayout([]int{0})
+	if x[layout.FeatureIndex(0, probe.MetricLoss)] != 0 {
+		t.Fatal("nil loss should yield 0")
+	}
+}

@@ -1,0 +1,205 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which Mul runs
+// single-threaded: goroutine fan-out costs more than it saves on small
+// products.
+const parallelThreshold = 1 << 16
+
+// Mul stores a·b into dst (allocating when dst is nil) and returns dst.
+//
+// The kernel uses the i-k-j loop order so the inner loop streams over
+// contiguous rows of b and dst, and shards rows of a across GOMAXPROCS
+// workers for large products. Row sharding keeps the reduction order within
+// each output element sequential, so results are identical no matter how
+// many workers run.
+func Mul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul: inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	dst = ensureShape(dst, a.Rows, b.Cols)
+	if dst == a || dst == b {
+		panic("mat: Mul: dst must not alias an operand")
+	}
+	dst.Zero()
+
+	work := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers == 1 || a.Rows == 1 {
+		mulRows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+// mulRows computes rows [lo, hi) of dst = a·b.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT1 returns aᵀ·b without materializing the transpose of a. Large
+// products shard the output rows across GOMAXPROCS workers; each output
+// element reduces over k sequentially, so results are independent of the
+// worker count.
+func MulT1(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulT1: inner dims %d vs %d", a.Rows, b.Rows))
+	}
+	dst = ensureShape(dst, a.Cols, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers == 1 || a.Cols == 1 {
+		mulT1Rows(dst, a, b, 0, a.Cols)
+		return dst
+	}
+	if workers > a.Cols {
+		workers = a.Cols
+	}
+	chunk := (a.Cols + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Cols; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Cols {
+			hi = a.Cols
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulT1Rows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+// mulT1Rows computes output rows [lo, hi) of dst = aᵀ·b.
+func mulT1Rows(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT2 returns a·bᵀ without materializing the transpose of b.
+func MulT2(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT2: inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	dst = ensureShape(dst, a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers == 1 || a.Rows == 1 {
+		mulT2Rows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulT2Rows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+func mulT2Rows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// MulVec returns m·x as a new vector.
+func MulVec(m *Matrix, x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec: len %d, want %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = Dot(m.Row(i), x)
+	}
+	return y
+}
+
+// Dot returns the inner product of equal-length vectors a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot: len %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy: len %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func noisyWorld() *World {
+	return NewWorld(Config{Seed: 1, BackgroundAnomalies: true, AnomalyRate: 0.05})
+}
+
+func TestBackgroundAnomaliesDeterministic(t *testing.T) {
+	w1, w2 := noisyWorld(), noisyWorld()
+	for tick := int64(0); tick < 200; tick++ {
+		a := w1.PathConditions(SEAT, SING, Env{Tick: tick}, nil)
+		b := w2.PathConditions(SEAT, SING, Env{Tick: tick}, nil)
+		if a != b {
+			t.Fatalf("tick %d: anomalies not deterministic", tick)
+		}
+	}
+}
+
+func TestBackgroundAnomaliesActuallyOccur(t *testing.T) {
+	clean := NewWorld(Config{Seed: 1})
+	noisy := noisyWorld()
+	differs := 0
+	for tick := int64(0); tick < 500; tick++ {
+		for host := 0; host < NumRegions; host++ {
+			a := clean.PathConditions(AMST, host, Env{Tick: tick}, nil)
+			b := noisy.PathConditions(AMST, host, Env{Tick: tick}, nil)
+			if a != b {
+				differs++
+			}
+		}
+	}
+	// 5% rate over 5000 link-ticks → expect ~250 anomalies.
+	if differs < 100 || differs > 600 {
+		t.Fatalf("anomalies on %d of 5000 link-ticks (rate 0.05 expected ~250)", differs)
+	}
+}
+
+func TestBackgroundAnomaliesMilderThanFaults(t *testing.T) {
+	noisy := noisyWorld()
+	clean := NewWorld(Config{Seed: 1})
+	for tick := int64(0); tick < 300; tick++ {
+		a := clean.PathConditions(AMST, GRAV, Env{Tick: tick}, nil)
+		b := noisy.PathConditions(AMST, GRAV, Env{Tick: tick}, nil)
+		if a == b {
+			continue
+		}
+		// Latency anomaly ≤ 18·1.5+jitter effects << the 50 ms fault.
+		if b.RTTMs-a.RTTMs > 40 {
+			t.Fatalf("tick %d: anomaly added %v ms RTT, as strong as a fault", tick, b.RTTMs-a.RTTMs)
+		}
+		if b.Loss-a.Loss > 0.03 {
+			t.Fatalf("tick %d: anomaly loss %v too strong", tick, b.Loss-a.Loss)
+		}
+	}
+}
+
+func TestAnomaliesOffByDefault(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	if w.anomalyRate != 0 {
+		t.Fatal("anomalies must be opt-in")
+	}
+	// With the flag but no rate, the default applies.
+	w = NewWorld(Config{Seed: 1, BackgroundAnomalies: true})
+	if w.anomalyRate != 0.02 {
+		t.Fatalf("default rate %v", w.anomalyRate)
+	}
+}
+
+// Background anomalies must never flip ground-truth labels: QoE compares
+// against the same-tick fault-free baseline, which includes them.
+func TestAnomaliesPreserveGroundTruth(t *testing.T) {
+	// Direct check at the netsim level: anomaly application is independent
+	// of env.Faults, so clean-vs-faulty deltas are identical in both
+	// worlds whenever the same anomaly draw applies.
+	noisy := noisyWorld()
+	fault := Env{Tick: 77, Faults: []Fault{NewFault(FaultServiceDelay, GRAV)}}
+	cleanEnv := Env{Tick: 77}
+	dNoisy := noisy.PathConditions(AMST, GRAV, fault, nil).RTTMs - noisy.PathConditions(AMST, GRAV, cleanEnv, nil).RTTMs
+	if dNoisy < 49 || dNoisy > 66 {
+		t.Fatalf("fault delta %v under anomalies, want ≈50-65 (incl. jitter coupling)", dNoisy)
+	}
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadRegions reads a custom region set from JSON — an array of
+// {"name", "provider", "lat", "lon"} objects — so adopters can model their
+// own deployments instead of the paper's ten regions.
+func LoadRegions(r io.Reader) ([]Region, error) {
+	var raw []struct {
+		Name     string  `json:"name"`
+		Provider string  `json:"provider"`
+		Lat      float64 `json:"lat"`
+		Lon      float64 `json:"lon"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("netsim: regions: %w", err)
+	}
+	if len(raw) < 2 {
+		return nil, fmt.Errorf("netsim: need at least 2 regions, got %d", len(raw))
+	}
+	seen := map[string]bool{}
+	regions := make([]Region, len(raw))
+	for i, e := range raw {
+		if e.Name == "" {
+			return nil, fmt.Errorf("netsim: region %d has no name", i)
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("netsim: duplicate region %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Lat < -90 || e.Lat > 90 || e.Lon < -180 || e.Lon > 180 {
+			return nil, fmt.Errorf("netsim: region %q has invalid coordinates (%v, %v)", e.Name, e.Lat, e.Lon)
+		}
+		regions[i] = Region{Name: e.Name, Provider: e.Provider, Lat: e.Lat, Lon: e.Lon}
+	}
+	return regions, nil
+}
+
+// SaveRegions writes a region set as JSON readable by LoadRegions.
+func SaveRegions(w io.Writer, regions []Region) error {
+	type entry struct {
+		Name     string  `json:"name"`
+		Provider string  `json:"provider"`
+		Lat      float64 `json:"lat"`
+		Lon      float64 `json:"lon"`
+	}
+	out := make([]entry, len(regions))
+	for i, r := range regions {
+		out[i] = entry{Name: r.Name, Provider: r.Provider, Lat: r.Lat, Lon: r.Lon}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadSaveRegionsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveRegions(&buf, DefaultRegions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRegions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != NumRegions {
+		t.Fatalf("round trip lost regions: %d", len(got))
+	}
+	if got[GRAV] != DefaultRegions()[GRAV] {
+		t.Fatal("region data changed")
+	}
+	// A world builds on custom regions.
+	w := NewWorld(Config{Regions: got[:4], Seed: 1})
+	if w.NumRegions() != 4 {
+		t.Fatal("custom world wrong size")
+	}
+}
+
+func TestLoadRegionsValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad JSON":  `[{`,
+		"too few":   `[{"name":"A","lat":0,"lon":0}]`,
+		"no name":   `[{"lat":0,"lon":0},{"name":"B","lat":0,"lon":0}]`,
+		"duplicate": `[{"name":"A","lat":0,"lon":0},{"name":"A","lat":1,"lon":1}]`,
+		"bad lat":   `[{"name":"A","lat":95,"lon":0},{"name":"B","lat":0,"lon":0}]`,
+		"bad lon":   `[{"name":"A","lat":0,"lon":999},{"name":"B","lat":0,"lon":0}]`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadRegions(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import "fmt"
+
+// FaultKind enumerates the six injected fault families of §IV-A-e.
+type FaultKind int
+
+const (
+	// FaultRate shapes download bandwidth of flows served from the fault
+	// region (paper: capped at 8 Mbit/s).
+	FaultRate FaultKind = iota
+	// FaultServiceDelay adds latency at the fault region's hosts
+	// (paper: +50 ms).
+	FaultServiceDelay
+	// FaultGatewayDelay adds latency at the *client's* gateway in the
+	// fault region (paper: +50 ms). Client-side fault.
+	FaultGatewayDelay
+	// FaultJitter adds delay variation at the fault region's hosts
+	// (paper: up to 100 ms).
+	FaultJitter
+	// FaultLoss increases packet loss at the fault region's hosts
+	// (paper: 8 %).
+	FaultLoss
+	// FaultCPUStress loads the client CPUs in the fault region, slowing
+	// page rendering. Client-side fault.
+	FaultCPUStress
+	NumFaultKinds
+)
+
+var faultKindNames = [NumFaultKinds]string{
+	"rate", "service-delay", "gateway-delay", "jitter", "loss", "cpu-stress",
+}
+
+// String returns the fault kind's short name.
+func (k FaultKind) String() string {
+	if k < 0 || k >= NumFaultKinds {
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+	return faultKindNames[k]
+}
+
+// ClientSide reports whether the fault attaches to clients of the region
+// rather than to its hosts.
+func (k FaultKind) ClientSide() bool {
+	return k == FaultGatewayDelay || k == FaultCPUStress
+}
+
+// AllFaultKinds lists every injectable fault kind.
+func AllFaultKinds() []FaultKind {
+	ks := make([]FaultKind, NumFaultKinds)
+	for i := range ks {
+		ks[i] = FaultKind(i)
+	}
+	return ks
+}
+
+// Fault is one active netem-style rule: a kind and the region it is
+// injected in. Magnitude scales the default paper magnitude; use 1.
+type Fault struct {
+	Kind      FaultKind
+	Region    int
+	Magnitude float64
+}
+
+// NewFault returns a fault with the paper's default magnitude.
+func NewFault(kind FaultKind, region int) Fault {
+	return Fault{Kind: kind, Region: region, Magnitude: 1}
+}
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%d×%.1f", f.Kind, f.Region, f.Magnitude)
+}
+
+// Default fault magnitudes (§IV-A-e).
+const (
+	rateCapMbps     = 8.0   // (i) download shaping
+	serviceDelayMs  = 50.0  // (ii) additional service latency
+	gatewayDelayMs  = 50.0  // (iii) additional gateway latency
+	jitterMaxMs     = 100.0 // (iv) additional jitter, uniform up to
+	lossRate        = 0.08  // (v) increased packet loss
+	cpuStressLoad   = 0.92  // (vi) CPU utilization under stress
+	renderSlowdownX = 6.0   // navigation slowdown factor under full stress
+)
+
+// Env is one evaluation scenario: a point in time (Tick drives diurnal
+// congestion) and the set of concurrently injected faults.
+type Env struct {
+	Tick   int64
+	Faults []Fault
+}
+
+// WithoutFault returns a copy of the environment with fault index i
+// removed, used when attributing QoE degradations to a single root cause.
+func (e Env) WithoutFault(i int) Env {
+	fs := make([]Fault, 0, len(e.Faults)-1)
+	fs = append(fs, e.Faults[:i]...)
+	fs = append(fs, e.Faults[i+1:]...)
+	return Env{Tick: e.Tick, Faults: fs}
+}
+
+// OnlyFault returns a copy of the environment with only fault index i.
+func (e Env) OnlyFault(i int) Env {
+	return Env{Tick: e.Tick, Faults: []Fault{e.Faults[i]}}
+}

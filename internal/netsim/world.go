@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"diagnet/internal/stats"
+)
+
+// Path carries the end-to-end network conditions between a client and a
+// remote host: exactly the k = 5 per-landmark metric families the paper
+// collects (RTT, jitter, retransmit/loss ratio, download and upload
+// throughput).
+type Path struct {
+	RTTMs    float64
+	JitterMs float64
+	Loss     float64 // fraction in [0, 1]
+	DownMbps float64
+	UpMbps   float64
+}
+
+// Local carries a client's local metrics: gateway RTT and jitter (uplink
+// family) and CPU/memory/IO load (load family).
+type Local struct {
+	GatewayRTTMs    float64
+	GatewayJitterMs float64
+	CPULoad         float64
+	MemLoad         float64
+	IOLoad          float64
+}
+
+// World is the simulated multi-cloud deployment.
+type World struct {
+	Regions []Region
+	baseRTT [][]float64 // ms, symmetric
+	baseBW  [][]float64 // Mbps, symmetric
+	phase   [][]float64 // per-link diurnal congestion phase
+	seed    int64
+
+	anomalyRate float64 // 0 disables background anomalies
+}
+
+// Config controls world construction.
+type Config struct {
+	Regions []Region // nil means DefaultRegions
+	Seed    int64
+	// BackgroundAnomalies enables spurious transient link anomalies
+	// (latency spikes, loss bursts, throughput dips) unrelated to any
+	// injected fault — the constant stream of irrelevant outliers §II-B
+	// says landmark probing is bound to record. They are deterministic in
+	// (seed, tick, link), affect both the measured features and the
+	// fault-free QoE baseline (so they never change the ground-truth
+	// labels), and force models to disentangle real causes from
+	// coincidental anomalies.
+	BackgroundAnomalies bool
+	// AnomalyRate is the per-(tick, link) probability of a background
+	// anomaly; 0 means 0.02 when BackgroundAnomalies is set.
+	AnomalyRate float64
+}
+
+// NewWorld builds the simulated deployment. Base link conditions derive
+// from geodesic distance (fiber propagation at ~200 km/ms with path
+// inflation) and provider peering (cross-provider paths pay a latency and
+// bandwidth penalty), mirroring how multi-cloud paths behave.
+func NewWorld(cfg Config) *World {
+	regions := cfg.Regions
+	if regions == nil {
+		regions = DefaultRegions()
+	}
+	n := len(regions)
+	w := &World{Regions: regions, seed: cfg.Seed}
+	if cfg.BackgroundAnomalies {
+		w.anomalyRate = cfg.AnomalyRate
+		if w.anomalyRate <= 0 {
+			w.anomalyRate = 0.02
+		}
+	}
+	w.baseRTT = make([][]float64, n)
+	w.baseBW = make([][]float64, n)
+	w.phase = make([][]float64, n)
+	rng := stats.NewRand(cfg.Seed, 0)
+	for i := 0; i < n; i++ {
+		w.baseRTT[i] = make([]float64, n)
+		w.baseBW[i] = make([]float64, n)
+		w.phase[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var rtt, bw float64
+			if i == j {
+				rtt = 2.0
+				bw = 120
+			} else {
+				dist := haversineKm(regions[i], regions[j])
+				// Propagation: 2·dist/200 km/ms, ×1.3 path inflation.
+				rtt = 2*dist/200*1.3 + 5
+				bw = 90 / (1 + dist/9000)
+				if regions[i].Provider != regions[j].Provider {
+					rtt += 8
+					bw *= 0.7
+				} else {
+					rtt += 2
+				}
+			}
+			ph := rng.Float64() * 2 * math.Pi
+			w.baseRTT[i][j], w.baseRTT[j][i] = rtt, rtt
+			w.baseBW[i][j], w.baseBW[j][i] = bw, bw
+			w.phase[i][j], w.phase[j][i] = ph, ph
+		}
+	}
+	return w
+}
+
+// NumRegions returns the number of regions in the world.
+func (w *World) NumRegions() int { return len(w.Regions) }
+
+// BaseRTT exposes the noiseless base RTT between two regions (for tests
+// and baseline computations).
+func (w *World) BaseRTT(a, b int) float64 { return w.baseRTT[a][b] }
+
+// congestion returns the diurnal multiplier for link (a,b) at a tick:
+// ≥ 1, peaking once per simulated day (96 ticks = 24 h at 15-min probes).
+func (w *World) congestion(a, b int, tick int64) float64 {
+	return 1 + 0.06*(1+math.Sin(2*math.Pi*float64(tick)/96+w.phase[a][b]))/2
+}
+
+// Background anomaly kinds.
+const (
+	anomalyLatency = iota
+	anomalyLoss
+	anomalyBandwidth
+)
+
+// backgroundAnomaly deterministically decides whether link (a, b) suffers
+// a spurious transient anomaly at a tick, and of which kind/magnitude.
+func (w *World) backgroundAnomaly(a, b int, tick int64) (kind int, mag float64, active bool) {
+	if w.anomalyRate == 0 {
+		return 0, 0, false
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := uint64(stats.SplitSeed(w.seed+7777, tick*1024+int64(lo*32+hi)))
+	if float64(h%1000000)/1000000 >= w.anomalyRate {
+		return 0, 0, false
+	}
+	kind = int(h>>20) % 3
+	mag = 0.5 + float64((h>>40)%1000)/1000 // 0.5 .. 1.5
+	return kind, mag, true
+}
+
+// PathConditions returns the network conditions between a client in region
+// `client` and a host in region `host` under env. rng adds measurement and
+// stochastic path noise; pass nil for noiseless expectations (used for QoE
+// baselines).
+func (w *World) PathConditions(client, host int, env Env, rng *rand.Rand) Path {
+	cong := w.congestion(client, host, env.Tick)
+	rtt := w.baseRTT[client][host] * cong
+	jitter := 1.5 + 0.02*rtt
+	loss := 0.002
+	down := w.baseBW[client][host] / cong
+	up := down * 0.6
+
+	// Spurious background anomalies (§II-B): milder than injected faults,
+	// present in features and in the fault-free QoE baseline alike.
+	if kind, mag, ok := w.backgroundAnomaly(client, host, env.Tick); ok {
+		switch kind {
+		case anomalyLatency:
+			rtt += 18 * mag
+			jitter += 4 * mag
+		case anomalyLoss:
+			loss += 0.012 * mag
+		case anomalyBandwidth:
+			down *= 1 - 0.35*mag
+			up *= 1 - 0.35*mag
+		}
+	}
+
+	for _, f := range env.Faults {
+		mag := f.Magnitude
+		if mag == 0 {
+			mag = 1
+		}
+		switch f.Kind {
+		case FaultServiceDelay:
+			if f.Region == host {
+				rtt += serviceDelayMs * mag
+			}
+		case FaultGatewayDelay:
+			if f.Region == client {
+				rtt += gatewayDelayMs * mag
+			}
+		case FaultJitter:
+			if f.Region == host {
+				// Uniform netem jitter up to 100 ms has mean 50 ms.
+				jitter += jitterMaxMs * mag / 2
+			}
+		case FaultLoss:
+			if f.Region == host {
+				loss += lossRate * mag
+			}
+		case FaultRate:
+			if f.Region == host {
+				cap := rateCapMbps / mag
+				if down > cap {
+					down = cap
+				}
+				if up > cap {
+					up = cap
+				}
+			}
+		case FaultCPUStress:
+			// Client-side only; no path effect.
+		}
+	}
+
+	// Loss throttles TCP throughput (Mathis-style cap), a hidden
+	// relationship the coarse classifier must disentangle (§III-B).
+	if loss > 0.01 {
+		cap := 180.0 / (rtt * math.Sqrt(loss)) // Mbps, tuned: 8 % @ 100 ms → ~6 Mbps
+		if down > cap {
+			down = cap
+		}
+		if up > cap*0.6 {
+			up = cap * 0.6
+		}
+	}
+	// High jitter inflates measured RTT spread and effective latency.
+	rtt += jitter * 0.3
+
+	if rng != nil {
+		rtt = math.Max(0.5, rtt+rng.NormFloat64()*2+jitter*0.2*math.Abs(rng.NormFloat64()))
+		jitter = math.Max(0.1, jitter*(1+0.15*rng.NormFloat64()))
+		loss = stats.Clamp(loss*(1+0.2*rng.NormFloat64())+math.Abs(rng.NormFloat64())*5e-4, 0, 1)
+		down = math.Max(0.1, down*(1+0.08*rng.NormFloat64()))
+		up = math.Max(0.1, up*(1+0.08*rng.NormFloat64()))
+	}
+	return Path{RTTMs: rtt, JitterMs: jitter, Loss: loss, DownMbps: down, UpMbps: up}
+}
+
+// ClientConditions returns a client's local metrics under env. rng adds
+// noise; pass nil for noiseless expectations.
+func (w *World) ClientConditions(client int, env Env, rng *rand.Rand) Local {
+	l := Local{
+		GatewayRTTMs:    2.5,
+		GatewayJitterMs: 0.6,
+		CPULoad:         0.25,
+		MemLoad:         0.45,
+		IOLoad:          0.15,
+	}
+	for _, f := range env.Faults {
+		if f.Region != client {
+			continue
+		}
+		mag := f.Magnitude
+		if mag == 0 {
+			mag = 1
+		}
+		switch f.Kind {
+		case FaultGatewayDelay:
+			l.GatewayRTTMs += gatewayDelayMs * mag
+			l.GatewayJitterMs += 2 * mag
+		case FaultCPUStress:
+			l.CPULoad = stats.Clamp(cpuStressLoad*mag, 0, 1)
+			l.MemLoad = stats.Clamp(l.MemLoad+0.2*mag, 0, 1)
+			l.IOLoad = stats.Clamp(l.IOLoad+0.25*mag, 0, 1)
+		}
+	}
+	if rng != nil {
+		l.GatewayRTTMs = math.Max(0.2, l.GatewayRTTMs+rng.NormFloat64()*0.4)
+		l.GatewayJitterMs = math.Max(0.05, l.GatewayJitterMs*(1+0.2*rng.NormFloat64()))
+		l.CPULoad = stats.Clamp(l.CPULoad+rng.NormFloat64()*0.06, 0, 1)
+		l.MemLoad = stats.Clamp(l.MemLoad+rng.NormFloat64()*0.05, 0, 1)
+		l.IOLoad = stats.Clamp(l.IOLoad+rng.NormFloat64()*0.05, 0, 1)
+	}
+	return l
+}
+
+// CPULoadAt returns the (noiseless) client CPU load under env, used by the
+// QoE model to slow rendering under stress.
+func (w *World) CPULoadAt(client int, env Env) float64 {
+	return w.ClientConditions(client, env, nil).CPULoad
+}

@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diagnet/internal/mat"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// (one sample per row) and Backward consumes the gradient of the loss with
+// respect to Forward's output, accumulates parameter gradients, and returns
+// the gradient with respect to Forward's input.
+type Layer interface {
+	Forward(x *mat.Matrix) *mat.Matrix
+	Backward(dout *mat.Matrix) *mat.Matrix
+	Params() []*Param
+	// Spec describes the layer for serialization and cloning.
+	Spec() LayerSpec
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	W       *Param // In×Out
+	B       *Param // 1×Out
+
+	x *mat.Matrix // cached input for backward
+}
+
+// NewDense creates a Dense layer with Glorot-uniform weights and zero bias.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam(fmt.Sprintf("dense_%dx%d_w", in, out), in, out),
+		B:   newParam(fmt.Sprintf("dense_%dx%d_b", in, out), 1, out),
+	}
+	glorotInit(d.W, in, out, rng)
+	return d
+}
+
+// Forward computes x·W + b for a batch x (n×In).
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense.Forward: input width %d, want %d", x.Cols, d.In))
+	}
+	d.x = x
+	y := mat.Mul(nil, x, d.W.Value)
+	y.AddRowVector(d.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dout and db = colsum(dout), and returns
+// dx = dout·Wᵀ.
+func (d *Dense) Backward(dout *mat.Matrix) *mat.Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	dw := mat.MulT1(nil, d.x, dout)
+	d.W.Grad.AddInPlace(dw)
+	for i := 0; i < dout.Rows; i++ {
+		row := dout.Row(i)
+		for j, v := range row {
+			d.B.Grad.Data[j] += v
+		}
+	}
+	return mat.MulT2(nil, dout, d.W.Value)
+}
+
+// Params returns the layer's weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Spec implements Layer.
+func (d *Dense) Spec() LayerSpec {
+	return LayerSpec{Kind: "dense", Ints: map[string]int{"in": d.In, "out": d.Out}}
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier and records the active mask.
+func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the forward input was non-positive.
+func (r *ReLU) Backward(dout *mat.Matrix) *mat.Matrix {
+	if len(r.mask) != len(dout.Data) {
+		panic("nn: ReLU.Backward shape mismatch with Forward")
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (r *ReLU) Spec() LayerSpec { return LayerSpec{Kind: "relu"} }

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"diagnet/internal/mat"
+)
+
+// SoftmaxCrossEntropy fuses a softmax activation with a categorical
+// cross-entropy loss, the standard numerically stable formulation.
+type SoftmaxCrossEntropy struct{}
+
+// Softmax writes the row-wise softmax of logits into a new matrix.
+func Softmax(logits *mat.Matrix) *mat.Matrix {
+	p := mat.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		softmaxRow(logits.Row(i), p.Row(i))
+	}
+	return p
+}
+
+func softmaxRow(z, out []float64) {
+	max := z[0]
+	for _, v := range z[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for j, v := range z {
+		e := math.Exp(v - max)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+}
+
+// Loss returns the mean cross-entropy of logits against integer class
+// labels, plus the gradient with respect to the logits (softmax − onehot,
+// scaled by 1/n).
+func (l SoftmaxCrossEntropy) Loss(logits *mat.Matrix, labels []int) (float64, *mat.Matrix) {
+	return l.WeightedLoss(logits, labels, nil)
+}
+
+// WeightedLoss is Loss with optional per-class weights (class-balanced
+// cross-entropy). nil weights mean uniform. DiagNet uses balanced weights
+// because nominal samples vastly outnumber each fault family (§IV-A-e
+// injects faults uniformly to avoid bias; the weighting neutralizes the
+// remaining nominal/faulty imbalance).
+func (SoftmaxCrossEntropy) WeightedLoss(logits *mat.Matrix, labels []int, weights []float64) (float64, *mat.Matrix) {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: loss: %d rows vs %d labels", logits.Rows, len(labels)))
+	}
+	if weights != nil && len(weights) != logits.Cols {
+		panic(fmt.Sprintf("nn: loss: %d weights for %d classes", len(weights), logits.Cols))
+	}
+	grad := mat.New(logits.Rows, logits.Cols)
+	var total, wsum float64
+	for i := 0; i < logits.Rows; i++ {
+		prow := grad.Row(i)
+		softmaxRow(logits.Row(i), prow)
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: loss: label %d out of range [0,%d)", y, logits.Cols))
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[y]
+		}
+		wsum += w
+		total += -w * math.Log(math.Max(prow[y], 1e-15))
+		prow[y] -= 1
+		for j := range prow {
+			prow[j] *= w
+		}
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	grad.Scale(1 / wsum)
+	return total / wsum, grad
+}
+
+// CrossEntropyGrad returns the gradient of the "ideal label" loss
+// L* = −log softmax(logits)[target] with respect to the logits of a single
+// sample (1×c). This is the backward seed of the attention mechanism
+// (paper §III-E).
+func CrossEntropyGrad(logits *mat.Matrix, target int) *mat.Matrix {
+	if logits.Rows != 1 {
+		panic("nn: CrossEntropyGrad expects a single-row batch")
+	}
+	g := mat.New(1, logits.Cols)
+	softmaxRow(logits.Row(0), g.Row(0))
+	g.Data[target] -= 1
+	return g
+}

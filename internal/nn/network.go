@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"diagnet/internal/mat"
+)
+
+// LayerSpec is a serializable description of a layer's architecture.
+type LayerSpec struct {
+	Kind    string
+	Ints    map[string]int
+	Strings []string
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork wraps layers into a network.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch x through every layer.
+func (n *Network) Forward(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dout from the output back to the input, accumulating
+// parameter gradients, and returns the gradient with respect to the input
+// batch.
+func (n *Network) Backward(dout *mat.Matrix) *mat.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all parameters of all layers in order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of scalar parameters, and the number
+// that are currently trainable (not frozen).
+func (n *Network) ParamCount() (total, trainable int) {
+	for _, p := range n.Params() {
+		c := len(p.Value.Data)
+		total += c
+		if !p.Frozen {
+			trainable += c
+		}
+	}
+	return total, trainable
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() { zeroGrads(n.Params()) }
+
+// InputGradient returns the gradient of the ideal-label cross-entropy loss
+// L* = −log softmax(f(x))[target] with respect to the input features of a
+// single sample, plus the softmax probabilities of the forward pass. This
+// is DiagNet's attention primitive (§III-E): it requires white-box access
+// to the network, which this engine provides by construction. Parameter
+// gradients accumulated by the pass are discarded.
+func (n *Network) InputGradient(x []float64, target int) (grad []float64, probs []float64) {
+	in := mat.FromSlice(1, len(x), append([]float64(nil), x...))
+	logits := n.Forward(in)
+	if target < 0 {
+		// Caller wants the arg-max class as the ideal label.
+		target = Argmax(logits.Row(0))
+	}
+	p := Softmax(logits)
+	dlogits := CrossEntropyGrad(logits, target)
+	n.ZeroGrads()
+	dx := n.Backward(dlogits)
+	n.ZeroGrads()
+	return dx.Row(0), p.Row(0)
+}
+
+// Predict returns the softmax class probabilities for a batch.
+func (n *Network) Predict(x *mat.Matrix) *mat.Matrix {
+	return Softmax(n.Forward(x))
+}
+
+// Argmax returns the index of the largest value in xs.
+func Argmax(xs []float64) int {
+	arg := 0
+	for i, v := range xs {
+		if v > xs[arg] {
+			arg = i
+		}
+	}
+	return arg
+}
+
+// snapshot is the gob wire format of a network.
+type snapshot struct {
+	Specs  []LayerSpec
+	Values [][]float64
+	Frozen []bool
+}
+
+// Save writes the network's architecture and parameters to w with gob.
+func (n *Network) Save(w io.Writer) error {
+	var s snapshot
+	for _, l := range n.Layers {
+		s.Specs = append(s.Specs, l.Spec())
+	}
+	for _, p := range n.Params() {
+		s.Values = append(s.Values, p.Value.Data)
+		s.Frozen = append(s.Frozen, p.Frozen)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
+	var layers []Layer
+	for _, spec := range s.Specs {
+		l, err := buildLayer(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, l)
+	}
+	net := NewNetwork(layers...)
+	ps := net.Params()
+	if len(ps) != len(s.Values) {
+		return nil, fmt.Errorf("nn: load: %d params in file, %d in architecture", len(s.Values), len(ps))
+	}
+	for i, p := range ps {
+		if len(s.Values[i]) != len(p.Value.Data) {
+			return nil, fmt.Errorf("nn: load: param %d has %d values, want %d", i, len(s.Values[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, s.Values[i])
+		p.Frozen = s.Frozen[i]
+	}
+	return net, nil
+}
+
+func buildLayer(spec LayerSpec, rng *rand.Rand) (Layer, error) {
+	switch spec.Kind {
+	case "dense":
+		return NewDense(spec.Ints["in"], spec.Ints["out"], rng), nil
+	case "relu":
+		return NewReLU(), nil
+	case "landpool":
+		ops := PoolOpsByName(spec.Strings)
+		return NewLandPool(spec.Ints["k"], spec.Ints["f"], spec.Ints["local"], ops, rng), nil
+	case "dropout":
+		var rate float64
+		if len(spec.Strings) == 1 {
+			if _, err := fmt.Sscanf(spec.Strings[0], "%g", &rate); err != nil {
+				return nil, fmt.Errorf("nn: bad dropout rate %q", spec.Strings[0])
+			}
+		}
+		return NewDropout(rate, rng), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown layer kind %q", spec.Kind)
+	}
+}
+
+// Clone returns a deep copy of the network (weights, freeze flags).
+func (n *Network) Clone() *Network {
+	rng := rand.New(rand.NewSource(0))
+	var layers []Layer
+	for _, l := range n.Layers {
+		nl, err := buildLayer(l.Spec(), rng)
+		if err != nil {
+			panic(err)
+		}
+		layers = append(layers, nl)
+	}
+	c := NewNetwork(layers...)
+	src, dst := n.Params(), c.Params()
+	for i := range src {
+		copy(dst[i].Value.Data, src[i].Value.Data)
+		dst[i].Frozen = src[i].Frozen
+	}
+	return c
+}

@@ -1,0 +1,87 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func TestNormalizerLogDomainAmplifiesNearbyLatencyFault(t *testing.T) {
+	// Two landmarks: one at 20 ms, one at 300 ms, over many samples; then a
+	// +50 ms fault on each. In log domain the nearby fault must deviate
+	// more strongly than the distant one — the property motivating the
+	// transform (QoE-relevant latency faults hit nearby paths).
+	l := NewLayout([]int{0, 1})
+	var samples [][]float64
+	for i := 0; i < 200; i++ {
+		x := make([]float64, l.NumFeatures())
+		x[l.FeatureIndex(0, MetricRTT)] = 20 + float64(i%5)
+		x[l.FeatureIndex(1, MetricRTT)] = 300 + float64(i%30)
+		for _, pos := range []int{0, 1} {
+			x[l.FeatureIndex(pos, MetricJitter)] = 2
+			x[l.FeatureIndex(pos, MetricLoss)] = 0.002
+			x[l.FeatureIndex(pos, MetricDownBW)] = 50
+			x[l.FeatureIndex(pos, MetricUpBW)] = 30
+		}
+		samples = append(samples, x)
+	}
+	n := FitNormalizer(samples, l)
+
+	base := n.Apply(samples[0], l)
+	faultyNear := append([]float64(nil), samples[0]...)
+	faultyNear[l.FeatureIndex(0, MetricRTT)] += 50
+	zNear := n.Apply(faultyNear, l)[l.FeatureIndex(0, MetricRTT)] - base[l.FeatureIndex(0, MetricRTT)]
+
+	faultyFar := append([]float64(nil), samples[0]...)
+	faultyFar[l.FeatureIndex(1, MetricRTT)] += 50
+	zFar := n.Apply(faultyFar, l)[l.FeatureIndex(1, MetricRTT)] - base[l.FeatureIndex(1, MetricRTT)]
+
+	if zNear <= zFar {
+		t.Fatalf("log normalization should amplify the nearby fault: near %v vs far %v", zNear, zFar)
+	}
+	if zNear < 2*zFar {
+		t.Fatalf("amplification too weak: near %v vs far %v", zNear, zFar)
+	}
+}
+
+func TestNormalizerTransformFlagsSurviveGob(t *testing.T) {
+	l := NewLayout([]int{0})
+	x := make([]float64, l.NumFeatures())
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	n := FitNormalizer([][]float64{x}, l)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(n); err != nil {
+		t.Fatal(err)
+	}
+	var got Normalizer
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MetricLog != n.MetricLog || got.LocalLog != n.LocalLog {
+		t.Fatal("transform flags lost in serialization")
+	}
+	a, b := n.Apply(x, l), got.Apply(x, l)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("decoded normalizer applies differently")
+		}
+	}
+}
+
+func TestNormalizerLossStaysLinear(t *testing.T) {
+	n := &Normalizer{}
+	n.MetricLog = defaultMetricLog
+	if n.metricValue(int(MetricLoss), 0.08) != 0.08 {
+		t.Fatal("loss must stay linear")
+	}
+	if n.metricValue(int(MetricRTT), math.E-1) != 1 {
+		t.Fatal("rtt must be log1p-transformed")
+	}
+	// Negative measurement noise must not produce NaN.
+	if v := n.metricValue(int(MetricRTT), -3); v != 0 {
+		t.Fatalf("negative value should clamp to log1p(0)=0, got %v", v)
+	}
+}

@@ -1,0 +1,140 @@
+// Package qoe models the client-side Quality of Experience the paper
+// derives from window.performance timings: a page-load-time model over the
+// simulated network, a binary degradation indicator relative to the
+// fault-free load time, and the root-cause attribution rule used to label
+// training samples ("at most one fault was the real root cause for QoE
+// degradation", §IV-A-e).
+package qoe
+
+import (
+	"math"
+	"math/rand"
+
+	"diagnet/internal/netsim"
+	"diagnet/internal/services"
+)
+
+// Degradation thresholds: a load is degraded when it exceeds
+// ratio·baseline + slack, where the baseline is the fault-free, noise-free
+// load time at the same tick.
+const (
+	degradedRatio   = 1.25
+	degradedSlackMs = 40
+)
+
+// Render-time model: pages cost a fixed parse time plus a per-byte cost,
+// multiplied when the client CPU is stressed (Chromium navigation slowdown,
+// §IV-A-e fault vi).
+const (
+	renderBaseMs  = 10.0
+	renderPerMBMs = 30.0
+)
+
+// Model evaluates page load times and QoE over a simulated world.
+type Model struct {
+	W       *netsim.World
+	nearest []int // nearest region per client region (CDN mapping)
+}
+
+// New builds a QoE model; the CDN "nearest region" mapping is precomputed
+// from base RTTs.
+func New(w *netsim.World) *Model {
+	m := &Model{W: w, nearest: make([]int, w.NumRegions())}
+	for c := 0; c < w.NumRegions(); c++ {
+		best := 0
+		for r := 1; r < w.NumRegions(); r++ {
+			if w.BaseRTT(c, r) < w.BaseRTT(c, best) {
+				best = r
+			}
+		}
+		m.nearest[c] = best
+	}
+	return m
+}
+
+// Nearest returns the CDN region serving a client region.
+func (m *Model) Nearest(client int) int { return m.nearest[client] }
+
+// LoadTime returns the page load time in milliseconds for a client loading
+// svc under env. rng adds measurement noise; nil gives the deterministic
+// expectation (used for baselines and ground-truth attribution).
+func (m *Model) LoadTime(client int, svc services.Service, env netsim.Env, rng *rand.Rand) float64 {
+	resources := svc.Resources(client, m.Nearest)
+	cpu := m.W.CPULoadAt(client, env)
+	cpuFactor := 1.0
+	if cpu > 0.5 {
+		cpuFactor = 1 + (6-1)*(cpu-0.5)/0.5
+	}
+	var total float64
+	var bytes int
+	for _, r := range resources {
+		p := m.W.PathConditions(client, r.Host, env, rng)
+		// Effective per-round-trip latency: RTT inflated by jitter and by
+		// loss-induced retransmissions.
+		eff := p.RTTMs*(1+4*p.Loss) + 0.4*p.JitterMs
+		rounds := 1.0 // request/response
+		if !r.ReuseConn {
+			rounds += 3 // DNS + TCP handshake + TLS setup
+			total += 5  // resolver cache / local stack
+		}
+		total += rounds * eff
+		total += float64(r.Bytes) * 8 / (p.DownMbps * 1000) // transfer ms
+		bytes += r.Bytes
+	}
+	render := (renderBaseMs + renderPerMBMs*float64(bytes)/(1<<20)) * cpuFactor
+	total += render
+	if rng != nil {
+		total *= 1 + 0.04*rng.NormFloat64()
+		total = math.Max(1, total)
+	}
+	return total
+}
+
+// Baseline returns the fault-free, noise-free load time at the same tick.
+func (m *Model) Baseline(client int, svc services.Service, tick int64) float64 {
+	return m.LoadTime(client, svc, netsim.Env{Tick: tick}, nil)
+}
+
+// Degraded reports whether the (noise-free) load under env exceeds the
+// degradation threshold relative to the fault-free baseline.
+func (m *Model) Degraded(client int, svc services.Service, env netsim.Env) bool {
+	lt := m.LoadTime(client, svc, env, nil)
+	base := m.Baseline(client, svc, env.Tick)
+	return lt > base*degradedRatio+degradedSlackMs
+}
+
+// RootCause attributes a degradation to the single injected fault whose
+// individual presence explains it, following the paper's ground-truth
+// policy. It returns the index into env.Faults of the root cause and true,
+// or -1 and false when the QoE is not degraded under env. When several
+// faults individually degrade the QoE, the one causing the largest
+// individual load time wins.
+func (m *Model) RootCause(client int, svc services.Service, env netsim.Env) (int, bool) {
+	if len(env.Faults) == 0 || !m.Degraded(client, svc, env) {
+		return -1, false
+	}
+	best, bestLoad := -1, 0.0
+	for i := range env.Faults {
+		solo := env.OnlyFault(i)
+		if !m.Degraded(client, svc, solo) {
+			continue
+		}
+		lt := m.LoadTime(client, svc, solo, nil)
+		if lt > bestLoad {
+			best, bestLoad = i, lt
+		}
+	}
+	if best < 0 {
+		// Degradation emerges only from the combination; attribute to the
+		// fault whose removal helps most.
+		worstDrop := math.Inf(-1)
+		full := m.LoadTime(client, svc, env, nil)
+		for i := range env.Faults {
+			drop := full - m.LoadTime(client, svc, env.WithoutFault(i), nil)
+			if drop > worstDrop {
+				worstDrop, best = drop, i
+			}
+		}
+	}
+	return best, true
+}

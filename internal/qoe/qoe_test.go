@@ -1,0 +1,154 @@
+package qoe
+
+import (
+	"testing"
+
+	"diagnet/internal/netsim"
+	"diagnet/internal/services"
+	"diagnet/internal/stats"
+)
+
+func newModel() *Model { return New(netsim.NewWorld(netsim.Config{Seed: 1})) }
+
+func svcOf(kind services.Kind, host int) services.Service {
+	return services.Service{ID: 0, Kind: kind, Host: host}
+}
+
+func TestNearestIsSelfRegion(t *testing.T) {
+	m := newModel()
+	for c := 0; c < m.W.NumRegions(); c++ {
+		if m.Nearest(c) != c {
+			t.Fatalf("nearest CDN for %d is %d; intra-region PoP should win", c, m.Nearest(c))
+		}
+	}
+}
+
+func TestBaselineNoFaultNotDegraded(t *testing.T) {
+	m := newModel()
+	for _, svc := range services.Catalog() {
+		for client := 0; client < m.W.NumRegions(); client++ {
+			if m.Degraded(client, svc, netsim.Env{Tick: 42}) {
+				t.Fatalf("clean env degraded for %s client %d", svc.Name(), client)
+			}
+		}
+	}
+}
+
+func TestFarClientsLoadSlower(t *testing.T) {
+	m := newModel()
+	svc := svcOf(services.ImageFar, netsim.GRAV)
+	near := m.LoadTime(netsim.AMST, svc, netsim.Env{}, nil)
+	far := m.LoadTime(netsim.SYDN, svc, netsim.Env{}, nil)
+	if far <= near {
+		t.Fatalf("far load %v <= near load %v", far, near)
+	}
+}
+
+func TestRateFaultDegradesImageButNotSingle(t *testing.T) {
+	m := newModel()
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultRate, netsim.GRAV)}}
+	img := svcOf(services.ImageLocal, netsim.GRAV)
+	single := svcOf(services.Single, netsim.GRAV)
+	client := netsim.AMST
+	if !m.Degraded(client, img, env) {
+		t.Fatal("8 Mbit/s shaping should degrade a 5 MB page")
+	}
+	if m.Degraded(client, single, env) {
+		t.Fatal("paper: small HTML QoE unaffected by shaped bandwidth")
+	}
+}
+
+func TestServiceDelayDegradesDependentService(t *testing.T) {
+	m := newModel()
+	// script.far depends on BEAU; delay BEAU hosts.
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultServiceDelay, netsim.BEAU)}}
+	svc := svcOf(services.ScriptFar, netsim.GRAV)
+	if !m.Degraded(netsim.GRAV, svc, env) {
+		t.Fatal("BEAU delay should degrade script.far for a nearby client")
+	}
+	// An image.cdn service of a distant client does not touch BEAU.
+	cdn := svcOf(services.ImageCDN, netsim.SING)
+	if m.Degraded(netsim.TOKY, cdn, env) {
+		t.Fatal("BEAU delay leaked into a service that never touches BEAU")
+	}
+}
+
+func TestGatewayDelayDegradesEverySmallService(t *testing.T) {
+	m := newModel()
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultGatewayDelay, netsim.SING)}}
+	svc := svcOf(services.Single, netsim.SING)
+	if !m.Degraded(netsim.SING, svc, env) {
+		t.Fatal("gateway delay should degrade a latency-bound page")
+	}
+	// Clients elsewhere are untouched.
+	if m.Degraded(netsim.SEAT, svc, env) {
+		t.Fatal("gateway fault leaked to another region's clients")
+	}
+}
+
+func TestLossFaultDegrades(t *testing.T) {
+	m := newModel()
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultLoss, netsim.SEAT)}}
+	if !m.Degraded(netsim.EAST, svcOf(services.ImageLocal, netsim.SEAT), env) {
+		t.Fatal("8% loss should degrade a 5MB page from the lossy region")
+	}
+}
+
+func TestCPUStressDegradesHeavyPage(t *testing.T) {
+	m := newModel()
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultCPUStress, netsim.AMST)}}
+	if !m.Degraded(netsim.AMST, svcOf(services.ImageCDN, netsim.GRAV), env) {
+		t.Fatal("CPU stress should degrade a render-heavy page")
+	}
+}
+
+func TestRootCauseSingleFault(t *testing.T) {
+	m := newModel()
+	env := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultRate, netsim.GRAV)}}
+	idx, degraded := m.RootCause(netsim.AMST, svcOf(services.ImageLocal, netsim.GRAV), env)
+	if !degraded || idx != 0 {
+		t.Fatalf("RootCause = %d, %v", idx, degraded)
+	}
+	// Non-degrading fault: no root cause.
+	env2 := netsim.Env{Faults: []netsim.Fault{netsim.NewFault(netsim.FaultRate, netsim.GRAV)}}
+	idx, degraded = m.RootCause(netsim.AMST, svcOf(services.Single, netsim.GRAV), env2)
+	if degraded || idx != -1 {
+		t.Fatal("single page should stay nominal under shaping")
+	}
+}
+
+func TestRootCausePicksTheDegradingFault(t *testing.T) {
+	m := newModel()
+	// Rate fault at GRAV degrades the image; rate fault at SING is irrelevant
+	// to this service.
+	env := netsim.Env{Faults: []netsim.Fault{
+		netsim.NewFault(netsim.FaultRate, netsim.SING),
+		netsim.NewFault(netsim.FaultRate, netsim.GRAV),
+	}}
+	idx, degraded := m.RootCause(netsim.AMST, svcOf(services.ImageLocal, netsim.GRAV), env)
+	if !degraded || idx != 1 {
+		t.Fatalf("RootCause picked fault %d (degraded=%v), want 1", idx, degraded)
+	}
+}
+
+func TestRootCauseEmptyEnv(t *testing.T) {
+	m := newModel()
+	if idx, deg := m.RootCause(netsim.AMST, svcOf(services.Single, netsim.GRAV), netsim.Env{}); deg || idx != -1 {
+		t.Fatal("no faults must give no cause")
+	}
+}
+
+func TestLoadTimeNoiseBoundedAndDeterministic(t *testing.T) {
+	m := newModel()
+	svc := svcOf(services.ScriptCDN, netsim.SEAT)
+	env := netsim.Env{Tick: 17}
+	a := m.LoadTime(netsim.SEAT, svc, env, stats.NewRand(5, 0))
+	b := m.LoadTime(netsim.SEAT, svc, env, stats.NewRand(5, 0))
+	if a != b {
+		t.Fatal("noisy load time not reproducible for same seed")
+	}
+	clean := m.LoadTime(netsim.SEAT, svc, env, nil)
+	if a < clean*0.5 || a > clean*2 {
+		t.Fatalf("noisy load %v too far from clean %v", a, clean)
+	}
+}

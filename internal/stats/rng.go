@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SplitSeed derives a child seed from a parent seed and a stream index
+// using the SplitMix64 finalizer. Parallel shards seeded with
+// SplitSeed(root, shard) are decorrelated yet fully reproducible, so a
+// computation's result never depends on goroutine scheduling.
+func SplitSeed(seed int64, stream int64) int64 {
+	z := uint64(seed) + uint64(stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewRand returns a rand.Rand seeded with SplitSeed(seed, stream).
+func NewRand(seed, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(seed, stream)))
+}
+
+// TruncNorm draws from a normal distribution with the given mean and
+// standard deviation, truncated to [lo, hi] by clamping. Clamping (rather
+// than rejection) keeps the draw count deterministic per call.
+func TruncNorm(rng *rand.Rand, mean, std, lo, hi float64) float64 {
+	return Clamp(mean+std*rng.NormFloat64(), lo, hi)
+}
+
+// LogNorm draws a log-normal variate exp(N(mu, sigma)).
+func LogNorm(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}

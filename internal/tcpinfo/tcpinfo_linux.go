@@ -1,0 +1,123 @@
+//go:build linux
+
+// Package tcpinfo reads kernel TCP statistics from live sockets via the
+// getsockopt(TCP_INFO) syscall — the mechanism the paper's landmarks use
+// to expose retransmission and reordering counters to their clients
+// (§IV-A-b: "we use the getsockopt linux syscall on each landmark server
+// to make raw TCP statistics available").
+//
+// Only the stable prefix of struct tcp_info (unchanged since Linux 2.6) is
+// decoded; offsets are documented inline against include/uapi/linux/tcp.h.
+package tcpinfo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Info is the decoded subset of struct tcp_info.
+type Info struct {
+	State        uint8
+	Retransmits  uint8  // consecutive retransmits of the current segment
+	RTOUs        uint32 // retransmission timeout (µs)
+	SndMSS       uint32
+	RcvMSS       uint32
+	Unacked      uint32
+	Lost         uint32 // segments currently considered lost
+	Retrans      uint32 // segments currently retransmitted
+	RTTUs        uint32 // smoothed RTT (µs)
+	RTTVarUs     uint32
+	SndCwnd      uint32
+	Reordering   uint32
+	TotalRetrans uint32 // lifetime retransmitted segments
+}
+
+// Field offsets within struct tcp_info (linux/tcp.h, stable ABI prefix):
+//
+//	0   u8  tcpi_state
+//	1   u8  tcpi_ca_state
+//	2   u8  tcpi_retransmits
+//	3   u8  tcpi_probes
+//	4   u8  tcpi_backoff
+//	5   u8  tcpi_options
+//	6   u8  tcpi_snd_wscale:4, tcpi_rcv_wscale:4
+//	7   u8  (padding / tcpi_delivery_rate_app_limited on newer kernels)
+//	8   u32 tcpi_rto            12 u32 tcpi_ato
+//	16  u32 tcpi_snd_mss        20 u32 tcpi_rcv_mss
+//	24  u32 tcpi_unacked        28 u32 tcpi_sacked
+//	32  u32 tcpi_lost           36 u32 tcpi_retrans
+//	40  u32 tcpi_fackets        44 u32 tcpi_last_data_sent
+//	48  u32 tcpi_last_ack_sent  52 u32 tcpi_last_data_recv
+//	56  u32 tcpi_last_ack_recv  60 u32 tcpi_pmtu
+//	64  u32 tcpi_rcv_ssthresh   68 u32 tcpi_rtt
+//	72  u32 tcpi_rttvar         76 u32 tcpi_snd_ssthresh
+//	80  u32 tcpi_snd_cwnd       84 u32 tcpi_advmss
+//	88  u32 tcpi_reordering     92 u32 tcpi_rcv_rtt
+//	96  u32 tcpi_rcv_space      100 u32 tcpi_total_retrans
+const infoBufLen = 104
+
+// ErrUnsupported is returned on platforms without TCP_INFO.
+var ErrUnsupported = errors.New("tcpinfo: unsupported platform or connection type")
+
+// Get reads TCP_INFO from a *net.TCPConn (or any syscall.Conn wrapping a
+// TCP socket).
+func Get(conn net.Conn) (Info, error) {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return Info{}, ErrUnsupported
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return Info{}, err
+	}
+	var buf [infoBufLen]byte
+	var sysErr error
+	ctrlErr := raw.Control(func(fd uintptr) {
+		l := uint32(len(buf))
+		_, _, errno := syscall.Syscall6(
+			syscall.SYS_GETSOCKOPT,
+			fd,
+			uintptr(syscall.IPPROTO_TCP),
+			uintptr(syscall.TCP_INFO),
+			uintptr(unsafe.Pointer(&buf[0])),
+			uintptr(unsafe.Pointer(&l)),
+			0,
+		)
+		if errno != 0 {
+			sysErr = fmt.Errorf("tcpinfo: getsockopt: %w", errno)
+			return
+		}
+		if l < infoBufLen {
+			sysErr = fmt.Errorf("tcpinfo: kernel returned %d bytes, want ≥%d", l, infoBufLen)
+		}
+	})
+	if ctrlErr != nil {
+		return Info{}, ctrlErr
+	}
+	if sysErr != nil {
+		return Info{}, sysErr
+	}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(buf[off : off+4]) }
+	return Info{
+		State:        buf[0],
+		Retransmits:  buf[2],
+		RTOUs:        u32(8),
+		SndMSS:       u32(16),
+		RcvMSS:       u32(20),
+		Unacked:      u32(24),
+		Lost:         u32(32),
+		Retrans:      u32(36),
+		RTTUs:        u32(68),
+		RTTVarUs:     u32(72),
+		SndCwnd:      u32(80),
+		Reordering:   u32(88),
+		TotalRetrans: u32(100),
+	}, nil
+}
+
+// Supported reports whether this platform can read TCP_INFO.
+func Supported() bool { return true }

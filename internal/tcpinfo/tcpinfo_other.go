@@ -1,0 +1,34 @@
+//go:build !linux
+
+package tcpinfo
+
+import (
+	"errors"
+	"net"
+)
+
+// Info is the decoded subset of struct tcp_info (see the linux build).
+type Info struct {
+	State        uint8
+	Retransmits  uint8
+	RTOUs        uint32
+	SndMSS       uint32
+	RcvMSS       uint32
+	Unacked      uint32
+	Lost         uint32
+	Retrans      uint32
+	RTTUs        uint32
+	RTTVarUs     uint32
+	SndCwnd      uint32
+	Reordering   uint32
+	TotalRetrans uint32
+}
+
+// ErrUnsupported is returned on platforms without TCP_INFO.
+var ErrUnsupported = errors.New("tcpinfo: unsupported platform or connection type")
+
+// Get is unavailable off Linux.
+func Get(net.Conn) (Info, error) { return Info{}, ErrUnsupported }
+
+// Supported reports whether this platform can read TCP_INFO.
+func Supported() bool { return false }

@@ -1,0 +1,96 @@
+package tcpinfo
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+// loopbackPair returns a connected TCP pair over loopback.
+func loopbackPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestGetOnLiveConnection(t *testing.T) {
+	if !Supported() {
+		t.Skip("TCP_INFO unsupported on this platform")
+	}
+	client, server := loopbackPair(t)
+	// Push some traffic so the counters move.
+	payload := make([]byte, 256<<10)
+	go func() {
+		client.Write(payload)
+	}()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Get(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TCP_ESTABLISHED = 1.
+	if info.State != 1 {
+		t.Fatalf("state %d, want ESTABLISHED", info.State)
+	}
+	if info.SndMSS == 0 || info.SndMSS > 65535 {
+		t.Fatalf("implausible MSS %d", info.SndMSS)
+	}
+	if info.RTTUs == 0 || info.RTTUs > 5_000_000 {
+		t.Fatalf("implausible loopback RTT %d µs", info.RTTUs)
+	}
+	if info.SndCwnd == 0 {
+		t.Fatal("zero congestion window")
+	}
+	// Loopback must not retransmit.
+	if info.TotalRetrans != 0 {
+		t.Fatalf("loopback retransmitted %d segments", info.TotalRetrans)
+	}
+}
+
+func TestGetRejectsNonTCP(t *testing.T) {
+	if !Supported() {
+		t.Skip("TCP_INFO unsupported on this platform")
+	}
+	c1, c2 := net.Pipe() // in-memory, not a syscall.Conn
+	defer c1.Close()
+	defer c2.Close()
+	if _, err := Get(c1); err == nil {
+		t.Fatal("want error for non-syscall conn")
+	}
+}
+
+func TestSupportedConsistent(t *testing.T) {
+	// On unsupported platforms Get must return ErrUnsupported; this test
+	// just pins the contract both ways.
+	if !Supported() {
+		if _, err := Get(nil); err != ErrUnsupported {
+			t.Fatalf("err = %v, want ErrUnsupported", err)
+		}
+	}
+}
