@@ -4,13 +4,23 @@
 // snapshot to a diagnetd analysis service whenever the load time degrades
 // against its own history.
 //
+// The probing plane is fault-tolerant: landmarks are probed concurrently
+// with per-landmark retries and circuit breakers, and a round that loses
+// some landmarks still produces a degraded-mode diagnosis from the
+// surviving subset (DiagNet's LandPooling/ZeroMask extensibility makes the
+// model accept any landmark list, §IV-B-a). Only when fewer than
+// -min-landmarks survive is the round abandoned.
+//
 // Usage:
 //
 //	diagnet-agent -landmarks http://lm1:8420,http://lm2:8420 \
 //	              -landmark-regions 2,4 \
 //	              -service-url https://example.org \
 //	              -analysis http://diagnetd:8421 \
-//	              [-service-id 0] [-interval 30s]
+//	              [-service-id 0] [-interval 30s] [-min-landmarks 1] \
+//	              [-round-timeout 60s] [-probe-concurrency 4] \
+//	              [-breaker-threshold 3] [-breaker-cooldown 2m] \
+//	              [-retry-attempts 2]
 //
 // -landmark-regions maps each probed landmark to its region index in the
 // model's world, in the same order as -landmarks.
@@ -31,6 +41,7 @@ import (
 	"diagnet"
 	"diagnet/internal/analysis"
 	"diagnet/internal/landmark"
+	"diagnet/internal/resilience"
 )
 
 func main() {
@@ -42,6 +53,12 @@ func main() {
 	interval := flag.Duration("interval", 30*time.Second, "probing interval")
 	degradeRatio := flag.Float64("degrade-ratio", 1.5, "QoE degradation threshold vs median load time")
 	rounds := flag.Int("rounds", 0, "stop after N rounds (0 = run forever)")
+	minLandmarks := flag.Int("min-landmarks", 1, "fewest surviving landmarks for a degraded-mode diagnosis")
+	roundTimeout := flag.Duration("round-timeout", 60*time.Second, "deadline for one probing round across all landmarks")
+	concurrency := flag.Int("probe-concurrency", 4, "landmarks probed in parallel")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open a landmark's circuit")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Minute, "open-circuit cooldown before a half-open ping")
+	retryAttempts := flag.Int("retry-attempts", 2, "probe attempts per landmark per round")
 	flag.Parse()
 
 	urls := splitNonEmpty(*landmarksFlag)
@@ -52,27 +69,33 @@ func main() {
 	if err != nil || len(regions) != len(urls) {
 		log.Fatalf("-landmark-regions must list one region index per landmark (%d given for %d landmarks)", len(regions), len(urls))
 	}
+	if *minLandmarks < 1 || *minLandmarks > len(urls) {
+		log.Fatalf("-min-landmarks must be in [1, %d]", len(urls))
+	}
 
-	prober := diagnet.NewProber(diagnet.ProberConfig{})
+	prober := diagnet.NewMultiProber(diagnet.MultiProberConfig{
+		MaxConcurrent: *concurrency,
+		RoundTimeout:  *roundTimeout,
+		Retry:         resilience.RetryPolicy{MaxAttempts: *retryAttempts},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+		},
+	})
 	client := analysis.NewClient(*analysisURL)
 	var history []float64
 
 	for round := 0; *rounds == 0 || round < *rounds; round++ {
 		start := time.Now()
-		ms := make([]landmark.Measurement, 0, len(urls))
-		failed := false
-		for _, url := range urls {
-			m, err := prober.Probe(context.Background(), url)
-			if err != nil {
-				log.Printf("probe %s: %v", url, err)
-				failed = true
-				break
-			}
-			ms = append(ms, m)
-		}
-		if failed {
+		snap, err := probeRound(context.Background(), prober, urls, regions, *minLandmarks)
+		if err != nil {
+			log.Printf("round %d: %v", round, err)
 			sleepRemainder(start, *interval)
 			continue
+		}
+		if len(snap.Lost) > 0 {
+			log.Printf("round %d: degraded probing plane: %d/%d landmarks lost (%s)",
+				round, len(snap.Lost), len(urls), strings.Join(snap.Lost, ", "))
 		}
 
 		loadMs, err := timePageLoad(*serviceURL)
@@ -87,14 +110,14 @@ func main() {
 				degraded = true
 			}
 		}
-		log.Printf("round %d: %d landmarks probed, page load %.0f ms, degraded=%v", round, len(ms), loadMs, degraded)
+		log.Printf("round %d: %d/%d landmarks probed, page load %.0f ms, degraded=%v",
+			round, len(snap.Regions), len(urls), loadMs, degraded)
 
 		if degraded {
-			features := landmark.Features(ms, nil, landmark.LocalMetrics{})
 			resp, err := client.Diagnose(context.Background(), &analysis.DiagnoseRequest{
 				ServiceID: *serviceID,
-				Landmarks: regions,
-				Features:  features,
+				Landmarks: snap.Regions,
+				Features:  snap.Features,
 				TopK:      5,
 			})
 			if err != nil {
@@ -113,6 +136,40 @@ func main() {
 		}
 		sleepRemainder(start, *interval)
 	}
+}
+
+// roundSnapshot is the surviving-subset view of one probing round.
+type roundSnapshot struct {
+	// Regions lists the region indices of the landmarks that answered,
+	// in probing order — the Landmarks field of a DiagnoseRequest.
+	Regions []int
+	// Features is the feature vector under that (possibly reduced) layout.
+	Features []float64
+	// Lost names the landmark URLs that produced no measurement.
+	Lost []string
+}
+
+// probeRound probes all landmarks and assembles the degraded-mode feature
+// vector from whatever subset survived. It fails only when fewer than
+// minLandmarks landmarks answered.
+func probeRound(ctx context.Context, prober *landmark.MultiProber, urls []string, regions []int, minLandmarks int) (*roundSnapshot, error) {
+	results, _ := prober.ProbeAll(ctx, urls)
+	snap := &roundSnapshot{}
+	var ms []landmark.Measurement
+	for i, r := range results {
+		if r.OK() {
+			ms = append(ms, r.Measurement)
+			snap.Regions = append(snap.Regions, regions[i])
+		} else {
+			snap.Lost = append(snap.Lost, urls[i])
+		}
+	}
+	if len(ms) < minLandmarks {
+		return nil, fmt.Errorf("only %d/%d landmarks answered (min %d); skipping round",
+			len(ms), len(urls), minLandmarks)
+	}
+	snap.Features = landmark.Features(ms, nil, landmark.LocalMetrics{})
+	return snap, nil
 }
 
 // timePageLoad fetches a URL and returns the wall-clock duration in ms.

@@ -153,7 +153,7 @@ func replay(args []string) {
 			fmt.Println()
 		}
 	}
-	steps, events := agent.Stats()
+	steps, events, _ := agent.Stats()
 	fmt.Fprintf(os.Stderr, "replayed %d rounds, %d degradations\n", steps, events)
 }
 

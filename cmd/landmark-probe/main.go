@@ -1,21 +1,23 @@
 // Command landmark-probe measures one or more landmark servers from this
 // client and prints the per-landmark metric vector — the live counterpart
-// of the simulator's probing plane.
+// of the simulator's probing plane. Landmarks are probed concurrently with
+// per-landmark retries; unreachable ones are reported instead of aborting
+// the run (partial telemetry is the normal case, not an error).
 //
 // Usage:
 //
-//	landmark-probe http://lm1:8420 http://lm2:8420 ...
+//	landmark-probe [-concurrency 4] [-round-timeout 60s] http://lm1:8420 http://lm2:8420 ...
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"diagnet"
+	"diagnet/internal/resilience"
 )
 
 func main() {
@@ -23,25 +25,43 @@ func main() {
 	downloadKB := flag.Int64("download-kb", 2048, "download payload size (KiB)")
 	uploadKB := flag.Int64("upload-kb", 1024, "upload payload size (KiB)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-landmark timeout")
+	concurrency := flag.Int("concurrency", 4, "landmarks probed in parallel")
+	roundTimeout := flag.Duration("round-timeout", 60*time.Second, "deadline for the whole round")
+	retries := flag.Int("retries", 2, "probe attempts per landmark")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: landmark-probe [flags] URL...")
 		os.Exit(2)
 	}
-	prober := diagnet.NewProber(diagnet.ProberConfig{
-		Pings:         *pings,
-		DownloadBytes: *downloadKB << 10,
-		UploadBytes:   *uploadKB << 10,
-		Timeout:       *timeout,
+	prober := diagnet.NewMultiProber(diagnet.MultiProberConfig{
+		Prober: diagnet.ProberConfig{
+			Pings:         *pings,
+			DownloadBytes: *downloadKB << 10,
+			UploadBytes:   *uploadKB << 10,
+			Timeout:       *timeout,
+		},
+		MaxConcurrent: *concurrency,
+		RoundTimeout:  *roundTimeout,
+		Retry:         resilience.RetryPolicy{MaxAttempts: *retries},
 	})
-	fmt.Printf("%-32s %10s %10s %12s %12s\n", "landmark", "rtt(ms)", "jitter(ms)", "down(Mbps)", "up(Mbps)")
-	for _, url := range flag.Args() {
-		m, err := prober.Probe(context.Background(), url)
-		if err != nil {
-			log.Printf("%s: %v", url, err)
+	results, partial := prober.ProbeAll(context.Background(), flag.Args())
+
+	fmt.Printf("%-32s %10s %10s %12s %12s %9s\n", "landmark", "rtt(ms)", "jitter(ms)", "down(Mbps)", "up(Mbps)", "attempts")
+	failed := 0
+	for _, r := range results {
+		if !r.OK() {
+			failed++
+			fmt.Printf("%-32s FAILED: %v\n", r.URL, r.Err)
 			continue
 		}
-		fmt.Printf("%-32s %10.2f %10.2f %12.1f %12.1f\n", url, m.RTTMs, m.JitterMs, m.DownMbps, m.UpMbps)
+		m := r.Measurement
+		fmt.Printf("%-32s %10.2f %10.2f %12.1f %12.1f %9d\n", r.URL, m.RTTMs, m.JitterMs, m.DownMbps, m.UpMbps, r.Attempts)
+	}
+	if partial {
+		fmt.Fprintf(os.Stderr, "partial round: %d/%d landmarks answered\n", len(results)-failed, len(results))
+	}
+	if failed == len(results) {
+		os.Exit(1)
 	}
 }

@@ -35,6 +35,7 @@ package diagnet
 
 import (
 	"io"
+	"net/http"
 
 	"diagnet/internal/analysis"
 	"diagnet/internal/collector"
@@ -44,6 +45,7 @@ import (
 	"diagnet/internal/landmark"
 	"diagnet/internal/netsim"
 	"diagnet/internal/probe"
+	"diagnet/internal/resilience"
 	"diagnet/internal/services"
 	"diagnet/internal/trace"
 )
@@ -100,7 +102,33 @@ type (
 	ProberConfig = landmark.ProberConfig
 	// Measurement is one landmark probe result.
 	Measurement = landmark.Measurement
+	// MultiProber probes many landmarks concurrently with retries,
+	// per-landmark circuit breakers and partial-round results.
+	MultiProber = landmark.MultiProber
+	// MultiProberConfig tunes the fault-tolerant prober.
+	MultiProberConfig = landmark.MultiProberConfig
+	// ProbeResult is one landmark's outcome in a probing round.
+	ProbeResult = landmark.ProbeResult
+	// LandmarkHealth snapshots one landmark's probing history.
+	LandmarkHealth = landmark.LandmarkHealth
+	// FlakyHandler wraps an HTTP handler with fault injection (chaos
+	// testing of the probing plane).
+	FlakyHandler = landmark.FlakyHandler
+	// FlakyConfig is the fault mix a FlakyHandler injects.
+	FlakyConfig = landmark.FlakyConfig
+	// RetryPolicy retries transient failures with capped backoff.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerConfig tunes per-landmark circuit breakers.
+	BreakerConfig = resilience.BreakerConfig
 )
+
+// NewMultiProber returns a fault-tolerant multi-landmark prober.
+func NewMultiProber(cfg MultiProberConfig) *MultiProber { return landmark.NewMultiProber(cfg) }
+
+// NewFlakyHandler wraps inner with configurable fault injection.
+func NewFlakyHandler(inner http.Handler, cfg FlakyConfig) *FlakyHandler {
+	return landmark.NewFlakyHandler(inner, cfg)
+}
 
 // Experiment harness types.
 type (

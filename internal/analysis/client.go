@@ -5,41 +5,90 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"time"
+
+	"diagnet/internal/resilience"
 )
 
-// Client talks to a remote analysis service.
+// maxErrorBody bounds how much of an error response body a client error
+// message carries.
+const maxErrorBody = 4 << 10
+
+// Client talks to a remote analysis service. Transient failures (network
+// errors, 5xx) are retried with capped exponential backoff; terminal ones
+// (4xx) surface immediately with the server's error text attached.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry governs transient-failure handling; the zero value retries
+	// twice with the resilience defaults. Set MaxAttempts to 1 to disable.
+	Retry resilience.RetryPolicy
 }
 
 // NewClient returns a client for the service at baseURL.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{}}
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		Retry: resilience.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   200 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		},
+	}
+}
+
+// do issues one JSON round trip with retries; payload may be nil for GET.
+// On 2xx the body is decoded into out and drained so the keep-alive
+// connection returns to the pool.
+func (c *Client) do(ctx context.Context, method, path string, payload, out any) error {
+	var body []byte
+	if payload != nil {
+		var err error
+		if body, err = json.Marshal(payload); err != nil {
+			return err
+		}
+	}
+	return c.Retry.Do(ctx, func(ctx context.Context) error {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Drain whatever the decoder left so the transport can
+			// reuse the connection instead of tearing it down.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			// The server's error text is the diagnosis: keep a bounded
+			// excerpt instead of discarding it.
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+			return fmt.Errorf("analysis: %s %s: %w", method, path,
+				&resilience.HTTPStatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(msg))})
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // Diagnose submits a measurement vector and returns the ranked causes.
 func (c *Client) Diagnose(ctx context.Context, req *DiagnoseRequest) (*DiagnoseResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/diagnose", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.HTTP.Do(httpReq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("analysis: diagnose status %d", resp.StatusCode)
-	}
 	var out DiagnoseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/diagnose", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -47,25 +96,8 @@ func (c *Client) Diagnose(ctx context.Context, req *DiagnoseRequest) (*DiagnoseR
 
 // DiagnoseBatch submits several requests at once.
 func (c *Client) DiagnoseBatch(ctx context.Context, reqs []DiagnoseRequest) (*BatchResponse, error) {
-	body, err := json.Marshal(BatchRequest{Requests: reqs})
-	if err != nil {
-		return nil, err
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/diagnose-batch", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.HTTP.Do(httpReq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("analysis: batch status %d", resp.StatusCode)
-	}
 	var out BatchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/diagnose-batch", BatchRequest{Requests: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -73,20 +105,8 @@ func (c *Client) DiagnoseBatch(ctx context.Context, reqs []DiagnoseRequest) (*Ba
 
 // Model fetches the service's model description.
 func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/model", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("analysis: model status %d", resp.StatusCode)
-	}
 	var info ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/model", nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diagnet/internal/resilience"
+)
+
+// noWait removes real backoff sleeps from client retry tests.
+func noWait(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestRecoverMiddlewareTurnsPanicInto500(t *testing.T) {
+	h := recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatalf("panic killed the connection: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	// The server must keep serving after a panic.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newService(t)
+	huge := `{"landmarks":[` + strings.Repeat("1,", maxRequestBytes/2) + `1]}`
+	resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestClientRetriesTransientServerErrors(t *testing.T) {
+	m, _ := buildFixture()
+	srv := NewServer(m)
+	inner := srv.Handler()
+	var calls atomic.Int64
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	client := NewClient(ts.URL)
+	client.Retry.Sleep = noWait
+	resp, err := client.Diagnose(context.Background(), sampleRequest(t))
+	if err != nil {
+		t.Fatalf("retry did not absorb 503s: %v", err)
+	}
+	if len(resp.Causes) == 0 {
+		t.Fatal("empty diagnosis")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3 (2 failures + success)", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "analysis: no landmarks in request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	client.Retry.Sleep = noWait
+	_, err := client.Diagnose(context.Background(), &DiagnoseRequest{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+	// The server's error text must survive into the client error.
+	if !strings.Contains(err.Error(), "no landmarks in request") {
+		t.Fatalf("server error text lost: %v", err)
+	}
+	var statusErr *resilience.HTTPStatusError
+	if !errors.As(err, &statusErr) || statusErr.Code != http.StatusBadRequest {
+		t.Fatalf("no typed status in %v", err)
+	}
+}
+
+func TestClientReusesKeepAliveConnections(t *testing.T) {
+	m, _ := buildFixture()
+	srv := NewServer(m)
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	var opened atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			opened.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	client := NewClient(ts.URL)
+	req := sampleRequest(t)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Diagnose(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if opened.Load() != 1 {
+		t.Fatalf("%d connections for 5 sequential requests; bodies not drained?", opened.Load())
+	}
+}

@@ -8,14 +8,56 @@ package analysis
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
 
 	"diagnet/internal/core"
 	"diagnet/internal/drift"
 	"diagnet/internal/probe"
 )
+
+// maxRequestBytes bounds a request body (8 MiB — a full 1024-request
+// batch is ≈1 MiB of JSON, so this is generous without letting one
+// client exhaust memory).
+const maxRequestBytes = 8 << 20
+
+// recoverMiddleware turns handler panics into 500s instead of letting one
+// bad request kill the whole analysis process.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // deliberate connection abort, not a bug
+				}
+				log.Printf("analysis: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// decodeBody decodes a bounded JSON request body, mapping oversized
+// payloads to 413 and malformed JSON to 400. It reports whether decoding
+// succeeded (the error response is already written otherwise).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
 
 // DiagnoseRequest is the client's payload: the landmark regions probed (in
 // feature order) and the raw measurement vector under that layout.
@@ -120,7 +162,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	})
-	return mux
+	return recoverMiddleware(mux)
 }
 
 // BatchRequest carries several diagnosis requests at once (bulk
@@ -145,8 +187,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Requests) == 0 || len(req.Requests) > maxBatch {
@@ -175,8 +216,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req DiagnoseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.Diagnose(&req)

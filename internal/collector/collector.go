@@ -9,7 +9,9 @@ package collector
 import (
 	"context"
 	"fmt"
+	"log"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"diagnet/internal/stats"
@@ -124,6 +126,7 @@ type Agent struct {
 	ticks    []int64
 	steps    int
 	events   int
+	dropped  atomic.Int64 // events lost to a full out channel (Run)
 }
 
 // NewAgent builds an agent over a measurement source producing `features`
@@ -158,7 +161,8 @@ func (a *Agent) Step(tick int64) (Event, bool) {
 }
 
 // Run probes every interval until the context ends, sending events to out.
-// It never blocks on a slow consumer: events are dropped if out is full.
+// It never blocks on a slow consumer: events are dropped (and counted, see
+// Stats) if out is full.
 func (a *Agent) Run(ctx context.Context, interval time.Duration, startTick int64, out chan<- Event) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -172,6 +176,9 @@ func (a *Agent) Run(ctx context.Context, interval time.Duration, startTick int64
 				select {
 				case out <- ev:
 				default:
+					if a.dropped.Add(1) == 1 {
+						log.Printf("collector: event channel full at tick %d; dropping (counted in Stats)", ev.Tick)
+					}
 				}
 			}
 			tick++
@@ -182,5 +189,8 @@ func (a *Agent) Run(ctx context.Context, interval time.Duration, startTick int64
 // History returns the retained samples (oldest first) and their ticks.
 func (a *Agent) History() ([][]float64, []int64) { return a.history, a.ticks }
 
-// Stats returns how many steps ran and how many degradations were seen.
-func (a *Agent) Stats() (steps, events int) { return a.steps, a.events }
+// Stats returns how many steps ran, how many degradations were seen, and
+// how many events Run dropped because the consumer was too slow.
+func (a *Agent) Stats() (steps, events, dropped int) {
+	return a.steps, a.events, int(a.dropped.Load())
+}

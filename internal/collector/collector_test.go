@@ -107,9 +107,9 @@ func TestAgentWindowBounded(t *testing.T) {
 	if ticks[0] != 40 || ticks[9] != 49 {
 		t.Fatalf("ring buffer kept wrong ticks: %v", ticks)
 	}
-	steps, events := agent.Stats()
-	if steps != 50 || events != 0 {
-		t.Fatalf("stats %d/%d", steps, events)
+	steps, events, dropped := agent.Stats()
+	if steps != 50 || events != 0 || dropped != 0 {
+		t.Fatalf("stats %d/%d/%d", steps, events, dropped)
 	}
 }
 
@@ -165,9 +165,17 @@ func TestAgentRunDropsOnFullChannel(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Run blocked on a full channel")
 	}
-	steps, events := agent.Stats()
+	steps, events, dropped := agent.Stats()
 	if steps < 10 || events < 10 {
 		t.Fatalf("agent stalled: %d steps, %d events", steps, events)
+	}
+	// Nobody read the channel, so every degradation event was dropped
+	// and the drop counter must say so.
+	if dropped == 0 {
+		t.Fatal("drops not counted")
+	}
+	if dropped > events {
+		t.Fatalf("%d drops for %d events", dropped, events)
 	}
 }
 

@@ -1,0 +1,146 @@
+package landmark
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlakyConfig describes the fault mix a FlakyHandler injects. The rates
+// are per-request probabilities evaluated in order (error, stall,
+// truncate, latency); their sum should stay ≤ 1.
+type FlakyConfig struct {
+	// ErrorRate answers requests with a 500 instead of serving them.
+	ErrorRate float64
+	// StallRate accepts the request and never responds until the client
+	// gives up (connection hang — the nastiest WAN failure mode).
+	StallRate float64
+	// TruncateRate advertises a full Content-Length, writes half the
+	// body, then aborts the connection mid-transfer.
+	TruncateRate float64
+	// LatencyRate delays the response by Latency before serving normally.
+	LatencyRate float64
+	// Latency is the injected delay (default 200ms when LatencyRate > 0).
+	Latency time.Duration
+	// Seed makes the fault sequence deterministic when non-zero.
+	Seed int64
+}
+
+// FlakyHandler wraps a landmark (or any) HTTP handler with configurable
+// fault injection: error rates, latency spikes, stalls and truncated
+// bodies. Chaos tests use it to assert that the probing plane degrades
+// instead of failing when a fraction of landmarks misbehave. The config
+// can be swapped at runtime (SetConfig) to script recovery scenarios.
+type FlakyHandler struct {
+	inner http.Handler
+
+	mu  sync.Mutex
+	cfg FlakyConfig
+	rng *rand.Rand
+
+	served   atomic.Int64 // requests passed through unharmed
+	injected atomic.Int64 // requests that got a fault
+}
+
+// NewFlakyHandler wraps inner with the given fault mix.
+func NewFlakyHandler(inner http.Handler, cfg FlakyConfig) *FlakyHandler {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &FlakyHandler{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetConfig replaces the fault mix (e.g. to heal a landmark mid-test).
+func (f *FlakyHandler) SetConfig(cfg FlakyConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// Served returns how many requests passed through unharmed.
+func (f *FlakyHandler) Served() int64 { return f.served.Load() }
+
+// Injected returns how many requests received an injected fault.
+func (f *FlakyHandler) Injected() int64 { return f.injected.Load() }
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultError
+	faultStall
+	faultTruncate
+	faultLatency
+)
+
+// roll draws the fault for one request.
+func (f *FlakyHandler) roll() (faultKind, time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.rng.Float64()
+	cfg := f.cfg
+	if p < cfg.ErrorRate {
+		return faultError, 0
+	}
+	p -= cfg.ErrorRate
+	if p < cfg.StallRate {
+		return faultStall, 0
+	}
+	p -= cfg.StallRate
+	if p < cfg.TruncateRate {
+		return faultTruncate, 0
+	}
+	p -= cfg.TruncateRate
+	if p < cfg.LatencyRate {
+		d := cfg.Latency
+		if d <= 0 {
+			d = 200 * time.Millisecond
+		}
+		return faultLatency, d
+	}
+	return faultNone, 0
+}
+
+// ServeHTTP implements http.Handler.
+func (f *FlakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	kind, delay := f.roll()
+	switch kind {
+	case faultError:
+		f.injected.Add(1)
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	case faultStall:
+		f.injected.Add(1)
+		// Hold the request open until the client abandons it.
+		<-r.Context().Done()
+		return
+	case faultTruncate:
+		f.injected.Add(1)
+		// Promise a body, deliver half, then kill the connection so the
+		// client sees an unexpected EOF rather than a clean close.
+		const promised = 64 << 10
+		w.Header().Set("Content-Length", strconv.Itoa(promised))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(make([]byte, promised/2))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case faultLatency:
+		f.injected.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		f.inner.ServeHTTP(w, r)
+		return
+	}
+	f.served.Add(1)
+	f.inner.ServeHTTP(w, r)
+}

@@ -159,8 +159,10 @@ func TestSaturationSheddingLoad(t *testing.T) {
 
 	// Start a download that blocks inside the slot.
 	started := make(chan struct{})
+	bgDone := make(chan struct{})
 	go func() {
 		close(started)
+		defer close(bgDone)
 		resp, err := http.Get(ts.URL + "/download?bytes=1048576&hold=1")
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
@@ -194,6 +196,9 @@ func TestSaturationSheddingLoad(t *testing.T) {
 	}
 	release()
 	close(gate)
+	// Let the held background download drain its slot before checking
+	// that transfers flow again (it may legitimately grab it first).
+	<-bgDone
 	// After release, transfers flow again.
 	resp, err = http.Get(ts.URL + "/download?bytes=100")
 	if err != nil {

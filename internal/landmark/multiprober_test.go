@@ -1,0 +1,312 @@
+package landmark
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diagnet/internal/resilience"
+)
+
+// fastProbe keeps chaos rounds cheap: tiny transfers, short timeouts.
+func fastProbe() ProberConfig {
+	return ProberConfig{Pings: 2, DownloadBytes: 32 << 10, UploadBytes: 16 << 10, Timeout: 3 * time.Second}
+}
+
+// noRetrySleep removes real backoff waits from tests.
+func noRetrySleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func newLandmarkFleet(t *testing.T, healthy int, flakyCfg FlakyConfig, flaky int) ([]string, []*Server, []*FlakyHandler) {
+	t.Helper()
+	urls := make([]string, 0, healthy+flaky)
+	servers := make([]*Server, 0, healthy+flaky)
+	handlers := make([]*FlakyHandler, 0, flaky)
+	for i := 0; i < healthy; i++ {
+		s := &Server{}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		servers = append(servers, s)
+	}
+	for i := 0; i < flaky; i++ {
+		s := &Server{}
+		cfg := flakyCfg
+		cfg.Seed = int64(i + 1)
+		fh := NewFlakyHandler(s.Handler(), cfg)
+		ts := httptest.NewServer(fh)
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		servers = append(servers, s)
+		handlers = append(handlers, fh)
+	}
+	return urls, servers, handlers
+}
+
+func TestMultiProberAllHealthy(t *testing.T) {
+	urls, _, _ := newLandmarkFleet(t, 5, FlakyConfig{}, 0)
+	mp := NewMultiProber(MultiProberConfig{Prober: fastProbe(), MaxConcurrent: 3, RoundTimeout: 20 * time.Second})
+	results, partial := mp.ProbeAll(context.Background(), urls)
+	if partial {
+		t.Fatal("healthy fleet reported partial")
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("landmark %d failed: %v", i, r.Err)
+		}
+		if r.Index != i || r.URL != urls[i] {
+			t.Fatalf("result %d misordered: %+v", i, r)
+		}
+		if r.Measurement.DownMbps <= 0 {
+			t.Fatalf("landmark %d empty measurement", i)
+		}
+	}
+	for url, h := range mp.Health() {
+		if h.State != "closed" || h.Successes != 1 || h.EWMALatencyMs < 0 {
+			t.Fatalf("%s health %+v", url, h)
+		}
+	}
+}
+
+func TestMultiProberPartialUnderChaos(t *testing.T) {
+	// 7 healthy + 3 always-erroring landmarks: the round must return the
+	// healthy subset and flag partial within the round deadline.
+	urls, _, _ := newLandmarkFleet(t, 7, FlakyConfig{ErrorRate: 1}, 3)
+	mp := NewMultiProber(MultiProberConfig{
+		Prober:        fastProbe(),
+		MaxConcurrent: 4,
+		RoundTimeout:  20 * time.Second,
+		Retry:         resilience.RetryPolicy{MaxAttempts: 2, Sleep: noRetrySleep},
+	})
+	start := time.Now()
+	results, partial := mp.ProbeAll(context.Background(), urls)
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("round blew the deadline: %v", elapsed)
+	}
+	if !partial {
+		t.Fatal("chaos round not flagged partial")
+	}
+	ok := 0
+	for i, r := range results {
+		if r.OK() {
+			ok++
+			if i >= 7 {
+				t.Fatalf("flaky landmark %d reported healthy", i)
+			}
+		} else if i < 7 {
+			t.Fatalf("healthy landmark %d failed: %v", i, r.Err)
+		}
+	}
+	if ok != 7 {
+		t.Fatalf("%d healthy landmarks survived, want 7", ok)
+	}
+}
+
+func TestMultiProberStallsBoundedByRoundDeadline(t *testing.T) {
+	// A stalled landmark must not block the round beyond its deadline.
+	urls, _, _ := newLandmarkFleet(t, 2, FlakyConfig{StallRate: 1}, 1)
+	mp := NewMultiProber(MultiProberConfig{
+		Prober:        ProberConfig{Pings: 2, DownloadBytes: 16 << 10, UploadBytes: 8 << 10, Timeout: time.Second},
+		MaxConcurrent: 3,
+		RoundTimeout:  5 * time.Second,
+		Retry:         resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	start := time.Now()
+	results, partial := mp.ProbeAll(context.Background(), urls)
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("stall leaked past the per-probe timeout: %v", elapsed)
+	}
+	if !partial {
+		t.Fatal("stalled landmark not flagged")
+	}
+	if !results[0].OK() || !results[1].OK() {
+		t.Fatalf("healthy landmarks failed: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[2].OK() {
+		t.Fatal("stalled landmark reported ok")
+	}
+}
+
+func TestMultiProberTruncatedBodiesFailThenHeal(t *testing.T) {
+	// Truncated responses must surface as probe failures (not bogus
+	// measurements), and a healed landmark probes cleanly again.
+	s := &Server{}
+	fh := NewFlakyHandler(s.Handler(), FlakyConfig{TruncateRate: 1, Seed: 7})
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+	mp := NewMultiProber(MultiProberConfig{
+		Prober:       fastProbe(),
+		RoundTimeout: 10 * time.Second,
+		Retry:        resilience.RetryPolicy{MaxAttempts: 2, Sleep: noRetrySleep},
+	})
+	results, partial := mp.ProbeAll(context.Background(), []string{ts.URL})
+	if !partial || results[0].OK() {
+		t.Fatalf("always-truncating landmark succeeded? %+v", results[0])
+	}
+	fh.SetConfig(FlakyConfig{}) // heal
+	results, partial = mp.ProbeAll(context.Background(), []string{ts.URL})
+	if partial || !results[0].OK() {
+		t.Fatalf("healed landmark still failing: %v", results[0].Err)
+	}
+}
+
+func TestCircuitBreakerSkipsFullProbeAndRecovers(t *testing.T) {
+	clk := struct {
+		now atomic.Int64
+	}{}
+	base := time.Unix(1700000000, 0)
+	clk.now.Store(0)
+	now := func() time.Time { return base.Add(time.Duration(clk.now.Load())) }
+
+	s := &Server{}
+	fh := NewFlakyHandler(s.Handler(), FlakyConfig{ErrorRate: 1, Seed: 3})
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	mp := NewMultiProber(MultiProberConfig{
+		Prober:       fastProbe(),
+		RoundTimeout: 10 * time.Second,
+		Retry:        resilience.RetryPolicy{MaxAttempts: 1},
+		Breaker:      resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute, Now: now},
+	})
+	urls := []string{ts.URL}
+
+	// Two failing rounds open the circuit.
+	for i := 0; i < 2; i++ {
+		if results, _ := mp.ProbeAll(context.Background(), urls); results[0].OK() {
+			t.Fatal("failing landmark probed ok")
+		}
+	}
+	if h := mp.Health()[ts.URL]; h.State != "open" {
+		t.Fatalf("breaker state %q, want open", h.State)
+	}
+
+	// While open (cooldown pending) the landmark gets NO traffic at all:
+	// the expensive download/upload path is skipped.
+	downloadsBefore := s.Stats().Downloads
+	pingsBefore := s.Stats().Pings
+	results, partial := mp.ProbeAll(context.Background(), urls)
+	if !partial || !results[0].Skipped {
+		t.Fatalf("open circuit did not skip: %+v", results[0])
+	}
+	if s.Stats().Downloads != downloadsBefore || s.Stats().Pings != pingsBefore {
+		t.Fatal("open circuit still sent requests")
+	}
+	if mp.Health()[ts.URL].Skips == 0 {
+		t.Fatal("skip not recorded in health")
+	}
+
+	// Cooldown elapses while the landmark is still broken: the half-open
+	// trial costs exactly one cheap ping, not a full probe.
+	clk.now.Add(int64(61 * time.Second))
+	results, _ = mp.ProbeAll(context.Background(), urls)
+	if !results[0].Skipped {
+		t.Fatalf("failed trial should re-skip: %+v", results[0])
+	}
+	if got := s.Stats().Downloads; got != downloadsBefore {
+		t.Fatalf("half-open trial triggered a full download (%d → %d)", downloadsBefore, got)
+	}
+
+	// Landmark recovers; after the next cooldown the ping goes through,
+	// the breaker closes, and full probing resumes.
+	fh.SetConfig(FlakyConfig{})
+	clk.now.Add(int64(61 * time.Second))
+	results, partial = mp.ProbeAll(context.Background(), urls)
+	if partial || !results[0].OK() {
+		t.Fatalf("recovered landmark not probed: %+v", results[0])
+	}
+	if s.Stats().Downloads != downloadsBefore+1 {
+		t.Fatalf("downloads %d, want %d", s.Stats().Downloads, downloadsBefore+1)
+	}
+	if h := mp.Health()[ts.URL]; h.State != "closed" || h.ConsecutiveFailures != 0 {
+		t.Fatalf("health after recovery %+v", h)
+	}
+}
+
+func TestMultiProberRetryRecoversTransientError(t *testing.T) {
+	// Fail the first /ping of every connection-warming sequence once: a
+	// handler that errors exactly on the first request overall.
+	var calls atomic.Int64
+	s := &Server{}
+	inner := s.Handler()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	mp := NewMultiProber(MultiProberConfig{
+		Prober:       fastProbe(),
+		RoundTimeout: 10 * time.Second,
+		Retry:        resilience.RetryPolicy{MaxAttempts: 3, Sleep: noRetrySleep},
+	})
+	results, partial := mp.ProbeAll(context.Background(), []string{ts.URL})
+	if partial || !results[0].OK() {
+		t.Fatalf("retry did not recover: %+v", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("attempts %d, want 2", results[0].Attempts)
+	}
+}
+
+func TestMultiProberContextCancellation(t *testing.T) {
+	urls, _, _ := newLandmarkFleet(t, 3, FlakyConfig{}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mp := NewMultiProber(MultiProberConfig{Prober: fastProbe()})
+	results, partial := mp.ProbeAll(ctx, urls)
+	if !partial {
+		t.Fatal("canceled round not partial")
+	}
+	for _, r := range results {
+		if r.OK() {
+			t.Fatal("probe succeeded under a dead context")
+		}
+	}
+}
+
+func TestFlakyHandlerFaultMix(t *testing.T) {
+	s := &Server{}
+	fh := NewFlakyHandler(s.Handler(), FlakyConfig{ErrorRate: 0.5, Seed: 11})
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+	errs := 0
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(ts.URL + "/ping")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusInternalServerError {
+			errs++
+		}
+		resp.Body.Close()
+	}
+	if errs < 30 || errs > 70 {
+		t.Fatalf("error rate 0.5 produced %d/100 errors", errs)
+	}
+	if fh.Served()+fh.Injected() != 100 {
+		t.Fatalf("counters %d+%d != 100", fh.Served(), fh.Injected())
+	}
+	// Latency injection delays but still serves.
+	fh.SetConfig(FlakyConfig{LatencyRate: 1, Latency: 50 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("latency fault broke the response: %d", resp.StatusCode)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("no latency injected")
+	}
+}

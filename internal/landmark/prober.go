@@ -1,7 +1,6 @@
 package landmark
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"diagnet/internal/resilience"
 	"diagnet/internal/tcpinfo"
 )
 
@@ -211,7 +211,7 @@ func (p *Prober) ping(ctx context.Context, base string) error {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("ping status %d", resp.StatusCode)
+		return fmt.Errorf("ping: %w", &resilience.HTTPStatusError{Code: resp.StatusCode})
 	}
 	return nil
 }
@@ -227,23 +227,58 @@ func (p *Prober) download(ctx context.Context, base string, n int64) (int64, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("download status %d", resp.StatusCode)
+		return 0, fmt.Errorf("download: %w", &resilience.HTTPStatusError{Code: resp.StatusCode})
 	}
 	got, err := io.Copy(io.Discard, resp.Body)
 	if err != nil {
 		return got, err
 	}
 	if got != n {
-		return got, fmt.Errorf("download returned %d bytes, want %d", got, n)
+		return got, fmt.Errorf("download returned %d bytes, want %d: %w", got, n, io.ErrUnexpectedEOF)
 	}
 	return got, nil
 }
 
+// uploadPattern is the shared chunk the streaming upload body copies
+// from; one page-sized buffer serves every probe instead of materializing
+// the full 1 MiB+ payload per landmark per round.
+var uploadPattern = func() []byte {
+	b := make([]byte, 32<<10)
+	for i := range b {
+		b[i] = 0xA5
+	}
+	return b
+}()
+
+// repeatReader streams n pattern bytes without allocating them.
+type repeatReader struct{ remaining int64 }
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && r.remaining > 0 {
+		c := copy(p[n:], uploadPattern)
+		if int64(c) > r.remaining {
+			c = int(r.remaining)
+		}
+		n += c
+		r.remaining -= int64(c)
+	}
+	return n, nil
+}
+
 func (p *Prober) upload(ctx context.Context, base string, n int64) error {
-	payload := bytes.Repeat([]byte{0xA5}, int(n))
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/upload", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/upload", &repeatReader{remaining: n})
 	if err != nil {
 		return err
+	}
+	// An explicit length (plus GetBody for transparent transport retries)
+	// keeps the request un-chunked, like the bytes.Reader it replaces.
+	req.ContentLength = n
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(&repeatReader{remaining: n}), nil
 	}
 	resp, err := p.Client.Do(req)
 	if err != nil {
@@ -252,7 +287,7 @@ func (p *Prober) upload(ctx context.Context, base string, n int64) error {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("upload status %d", resp.StatusCode)
+		return fmt.Errorf("upload: %w", &resilience.HTTPStatusError{Code: resp.StatusCode})
 	}
 	return nil
 }
@@ -269,7 +304,7 @@ func (p *Prober) stats(ctx context.Context, base string) (Stats, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return s, fmt.Errorf("stats status %d", resp.StatusCode)
+		return s, fmt.Errorf("stats: %w", &resilience.HTTPStatusError{Code: resp.StatusCode})
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
 		return s, err

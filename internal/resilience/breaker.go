@@ -1,0 +1,152 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: traffic flows normally.
+	Closed BreakerState = iota
+	// Open: traffic is refused until the cooldown elapses.
+	Open
+	// HalfOpen: one trial request is probing whether the target recovered.
+	HalfOpen
+)
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrCircuitOpen is returned (or wrapped) when a breaker refuses traffic.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the circuit
+	// (default 3).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before letting one
+	// half-open trial through (default 30s).
+	Cooldown time.Duration
+	// Now substitutes a fake clock in tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-target circuit breaker: consecutive failures beyond the
+// threshold open it; after a cooldown a single half-open trial decides
+// whether it closes again (probe-through recovery). Safe for concurrent
+// use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	trialActive bool // a half-open trial is in flight
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed and under which state.
+// When it returns (HalfOpen, true) the caller holds the single trial slot
+// and MUST report the outcome via Success or Failure (other callers are
+// refused meanwhile).
+func (b *Breaker) Allow() (BreakerState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return Closed, true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.trialActive = true
+			return HalfOpen, true
+		}
+		return Open, false
+	case HalfOpen:
+		if b.trialActive {
+			return HalfOpen, false // someone else holds the trial slot
+		}
+		b.trialActive = true
+		return HalfOpen, true
+	}
+	return b.state, false
+}
+
+// Success records a successful request, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.consecFails = 0
+	b.trialActive = false
+}
+
+// Failure records a failed request; it may open the circuit.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	switch b.state {
+	case HalfOpen:
+		// The trial failed: back to a full cooldown.
+		b.state = Open
+		b.openedAt = b.cfg.Now()
+		b.trialActive = false
+	case Closed:
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.state = Open
+			b.openedAt = b.cfg.Now()
+		}
+	}
+}
+
+// State returns the current position without consuming a trial slot.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen // would admit a trial
+	}
+	return b.state
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecFails
+}

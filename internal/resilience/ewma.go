@@ -1,0 +1,39 @@
+package resilience
+
+import "sync"
+
+// EWMA is an exponentially weighted moving average, used for per-landmark
+// latency health. Safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an average with the given smoothing factor in (0,1];
+// out-of-range values fall back to 0.3.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a sample in.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seen {
+		e.value, e.seen = v, true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}

@@ -1,0 +1,193 @@
+// Package resilience implements the fault-tolerance primitives of the
+// live measurement plane: a generic retry policy with capped exponential
+// backoff and deterministic-seedable jitter, an error classifier that
+// separates transient faults (timeouts, connection resets, 5xx) from
+// terminal ones (4xx, canceled contexts), and a per-target circuit breaker
+// (closed → open → half-open) so that dead landmarks cost one cheap probe
+// per cooldown instead of a full measurement round.
+//
+// DiagNet's model tolerates missing landmarks by design (LandPooling +
+// the ZeroMask policy, §IV-B-a); this package makes the Internet-facing
+// path exploit that: partial telemetry is the normal case, not an error.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// HTTPStatusError is a typed non-2xx response, so the classifier can tell
+// retryable server errors (5xx, 429, 408) from terminal client errors.
+type HTTPStatusError struct {
+	Code int
+	Msg  string // bounded excerpt of the response body, may be empty
+}
+
+// Error implements the error interface.
+func (e *HTTPStatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("status %d", e.Code)
+	}
+	return fmt.Sprintf("status %d: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether the status indicates a transient condition.
+func (e *HTTPStatusError) Retryable() bool {
+	return e.Code >= 500 || e.Code == 429 || e.Code == 408
+}
+
+// DefaultClassify reports whether err looks transient: timeouts, refused
+// or reset connections, unexpected EOFs and retryable HTTP statuses are;
+// canceled contexts, other 4xx statuses and unknown errors are not.
+func DefaultClassify(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true // a per-attempt timeout; the caller's context gates the loop
+	}
+	var statusErr *HTTPStatusError
+	if errors.As(err, &statusErr) {
+		return statusErr.Retryable()
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ETIMEDOUT) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true // truncated response body mid-transfer
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr) // remaining socket-level failures
+}
+
+// RetryPolicy retries an operation with capped exponential backoff.
+// The zero value is usable and picks the defaults documented per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first one included
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly in ±Jitter·delay (default 0.2,
+	// clamped to [0,1]).
+	Jitter float64
+	// Seed makes the jitter sequence deterministic when non-zero.
+	Seed int64
+	// Classify decides retryability (default DefaultClassify).
+	Classify func(error) bool
+	// Sleep waits between attempts; tests substitute a fake clock. The
+	// default honours ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Classify == nil {
+		p.Classify = DefaultClassify
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op until it succeeds, returns a terminal error, exhausts
+// MaxAttempts, or ctx ends. The returned error is the last attempt's,
+// wrapped with the attempt count when retries happened.
+func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	err, _ := p.DoCount(ctx, op)
+	return err
+}
+
+// DoCount is Do, additionally reporting how many attempts ran.
+func (p RetryPolicy) DoCount(ctx context.Context, op func(ctx context.Context) error) (error, int) {
+	p = p.withDefaults()
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		rng = rand.New(rand.NewSource(seed))
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			if err == nil {
+				err = ctxErr
+			}
+			return err, attempt - 1
+		}
+		err = op(ctx)
+		if err == nil {
+			return nil, attempt
+		}
+		if attempt >= p.MaxAttempts || !p.Classify(err) {
+			if attempt > 1 {
+				err = fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return err, attempt
+		}
+		d := delay
+		if rng != nil {
+			d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+		}
+		if sleepErr := p.Sleep(ctx, d); sleepErr != nil {
+			return fmt.Errorf("after %d attempts: %w (retry aborted: %w)", attempt, err, sleepErr), attempt
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested delays without waiting.
+type fakeSleep struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.delays = append(f.delays, d)
+	return nil
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	fs := &fakeSleep{}
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Seed: 1, Sleep: fs.sleep}
+	calls := 0
+	err, attempts := p.DoCount(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return &HTTPStatusError{Code: 503}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || attempts != 3 {
+		t.Fatalf("calls=%d attempts=%d, want 3", calls, attempts)
+	}
+	if len(fs.delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(fs.delays))
+	}
+}
+
+func TestRetryTerminalErrorStopsImmediately(t *testing.T) {
+	fs := &fakeSleep{}
+	p := RetryPolicy{MaxAttempts: 5, Sleep: fs.sleep, Seed: 1}
+	calls := 0
+	terminal := &HTTPStatusError{Code: 400, Msg: "bad request"}
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return terminal
+	})
+	if calls != 1 {
+		t.Fatalf("terminal error retried: %d calls", calls)
+	}
+	if !errors.Is(err, terminal) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(fs.delays) != 0 {
+		t.Fatal("slept on a terminal error")
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	fs := &fakeSleep{}
+	p := RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1, // disable jitter: delays must be exact
+		Sleep:       fs.sleep,
+	}
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		return &HTTPStatusError{Code: 500}
+	})
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	want := []time.Duration{100, 200, 400, 400, 400}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(fs.delays) != len(want) {
+		t.Fatalf("delays %v", fs.delays)
+	}
+	for i, d := range fs.delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (all: %v)", i, d, want[i], fs.delays)
+		}
+	}
+}
+
+func TestRetryJitterDeterministicWithSeed(t *testing.T) {
+	run := func() []time.Duration {
+		fs := &fakeSleep{}
+		p := RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Seed: 42, Sleep: fs.sleep}
+		p.Do(context.Background(), func(ctx context.Context) error {
+			return &HTTPStatusError{Code: 500}
+		})
+		return fs.delays
+	}
+	a, b := run(), run()
+	if len(a) != 3 {
+		t.Fatalf("delays %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", a, b)
+		}
+		base := 100 * time.Millisecond << i
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("delay[%d] = %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+}
+
+func TestRetryRespectsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond}
+	err := p.Do(ctx, func(ctx context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel() // the default Sleep must abort
+		}
+		return &HTTPStatusError{Code: 500}
+	})
+	if calls != 2 {
+		t.Fatalf("ran %d attempts after cancel", calls)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRetryContextAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := RetryPolicy{}.Do(ctx, func(ctx context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Fatal("op ran with a dead context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("wrap: %w", context.Canceled), false},
+		{&HTTPStatusError{Code: 500}, true},
+		{&HTTPStatusError{Code: 503}, true},
+		{&HTTPStatusError{Code: 429}, true},
+		{&HTTPStatusError{Code: 408}, true},
+		{&HTTPStatusError{Code: 400}, false},
+		{&HTTPStatusError{Code: 404}, false},
+		{timeoutErr{}, true},
+		{syscall.ECONNRESET, true},
+		{syscall.ECONNREFUSED, true},
+		{fmt.Errorf("read: %w", syscall.ECONNRESET), true},
+		{io.ErrUnexpectedEOF, true},
+		{io.EOF, true},
+		{&net.OpError{Op: "dial", Err: errors.New("down")}, true},
+		{errors.New("some app error"), false},
+	}
+	for _, c := range cases {
+		if got := DefaultClassify(c.err); got != c.want {
+			t.Errorf("DefaultClassify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHTTPStatusErrorMessage(t *testing.T) {
+	e := &HTTPStatusError{Code: 503, Msg: "landmark saturated"}
+	if e.Error() != "status 503: landmark saturated" {
+		t.Fatalf("msg %q", e.Error())
+	}
+	if (&HTTPStatusError{Code: 500}).Error() != "status 500" {
+		t.Fatal("bare message wrong")
+	}
+}
