@@ -1,0 +1,112 @@
+// Command bench2json converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark results (BENCH_telemetry.json) as
+// a machine-readable artifact and diff them across runs.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x ./... | go run ./cmd/bench2json > bench.json
+//
+// It reads the benchmark stream on stdin: context lines (goos, goarch,
+// pkg, cpu) annotate every following result line, and each result line
+// ("BenchmarkName-8  100  123 ns/op  45 B/op  6 allocs/op") becomes one
+// record with all its metric pairs. Non-benchmark lines are ignored, so
+// mixed `go test` output is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted stream.
+type Report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse consumes a `go test -bench` stream.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			report.Results = append(report.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench2json: read: %w", err)
+	}
+	return report, nil
+}
+
+// parseResult parses one "BenchmarkX-8  N  <value> <unit> ..." line. The
+// metric list is value/unit pairs; unpaired or non-numeric tails are
+// rejected rather than guessed at.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: diagnet/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkDiagnoseTelemetry/on-8         	    1024	   1152982 ns/op	  418133 B/op	    2103 allocs/op
+BenchmarkDiagnoseTelemetry/off-8        	    1031	   1153593 ns/op
+PASS
+ok  	diagnet/internal/core	2.693s
+pkg: diagnet/internal/telemetry
+BenchmarkCounterInc-8   	165045988	         7.266 ns/op
+--- BENCH: some unrelated log line
+BenchmarkBroken notanumber 12 ns/op
+ok  	diagnet/internal/telemetry	2.1s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || report.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context = %q/%q/%q", report.GOOS, report.GOARCH, report.CPU)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("%d results, want 3 (broken line must be dropped)", len(report.Results))
+	}
+
+	on := report.Results[0]
+	if on.Name != "BenchmarkDiagnoseTelemetry/on-8" || on.Package != "diagnet/internal/core" {
+		t.Fatalf("first result %+v", on)
+	}
+	if on.Iterations != 1024 || on.Metrics["ns/op"] != 1152982 ||
+		on.Metrics["B/op"] != 418133 || on.Metrics["allocs/op"] != 2103 {
+		t.Fatalf("metrics %+v", on)
+	}
+
+	counter := report.Results[2]
+	if counter.Package != "diagnet/internal/telemetry" {
+		t.Fatalf("pkg context not updated: %+v", counter)
+	}
+	if counter.Metrics["ns/op"] != 7.266 {
+		t.Fatalf("fractional ns/op lost: %+v", counter)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	report, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 0 || report.Results == nil {
+		t.Fatalf("want empty non-nil results, got %+v", report.Results)
+	}
+}

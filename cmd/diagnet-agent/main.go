@@ -20,14 +20,19 @@
 //	              [-service-id 0] [-interval 30s] [-min-landmarks 1] \
 //	              [-round-timeout 60s] [-probe-concurrency 4] \
 //	              [-breaker-threshold 3] [-breaker-cooldown 2m] \
-//	              [-retry-attempts 2]
+//	              [-retry-attempts 2] [-metrics 127.0.0.1:8422]
 //
 // -landmark-regions maps each probed landmark to its region index in the
 // model's world, in the same order as -landmarks.
+//
+// -metrics serves GET /metrics on the given address: the process-wide
+// telemetry snapshot (probing rounds, per-landmark latencies, breaker
+// transitions) plus per-landmark health, as one JSON document.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +64,7 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open a landmark's circuit")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Minute, "open-circuit cooldown before a half-open ping")
 	retryAttempts := flag.Int("retry-attempts", 2, "probe attempts per landmark per round")
+	metricsAddr := flag.String("metrics", "", "serve GET /metrics (telemetry + landmark health) on this address (empty = off)")
 	flag.Parse()
 
 	urls := splitNonEmpty(*landmarksFlag)
@@ -83,6 +89,9 @@ func main() {
 		},
 	})
 	client := analysis.NewClient(*analysisURL)
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr, prober)
+	}
 	var history []float64
 
 	for round := 0; *rounds == 0 || round < *rounds; round++ {
@@ -170,6 +179,25 @@ func probeRound(ctx context.Context, prober *landmark.MultiProber, urls []string
 	}
 	snap.Features = landmark.Features(ms, nil, landmark.LocalMetrics{})
 	return snap, nil
+}
+
+// serveMetrics exposes the telemetry snapshot and per-landmark health as
+// one JSON document on GET /metrics.
+func serveMetrics(addr string, prober *landmark.MultiProber) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Metrics   diagnet.MetricsSnapshot           `json:"metrics"`
+			Landmarks map[string]diagnet.LandmarkHealth `json:"landmarks"`
+		}{diagnet.Metrics(), prober.Health()})
+	})
+	log.Printf("metrics on http://%s/metrics", addr)
+	log.Print(http.ListenAndServe(addr, mux))
 }
 
 // timePageLoad fetches a URL and returns the wall-clock duration in ms.

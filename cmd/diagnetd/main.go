@@ -5,12 +5,18 @@
 // Usage:
 //
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
+//	         [-pprof 127.0.0.1:6060]
 //
 // API:
 //
 //	POST /v1/diagnose  {"service_id":0,"landmarks":[0,1,...],"features":[...]}
 //	GET  /v1/model
+//	GET  /v1/metrics   per-route latency percentiles + per-stage Diagnose timings
 //	GET  /healthz
+//
+// -pprof serves net/http/pprof on a separate listener (keep it on a
+// loopback or otherwise private address; it is intentionally not exposed
+// on the public API port).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof only
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +41,7 @@ func main() {
 	modelPath := flag.String("model", "model.gob", "general model file")
 	bundlePath := flag.String("bundle", "", "bundle file (general + specialized); overrides -model")
 	specialized := flag.String("specialized", "", "comma-separated specialized model files")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	var srv *analysis.Server
@@ -71,6 +79,13 @@ func main() {
 			srv.SetSpecialized(m.ServiceID, m)
 			log.Printf("loaded specialized model for service %d from %s", m.ServiceID, path)
 		}
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Print(http.ListenAndServe(*pprofAddr, nil)) // DefaultServeMux carries net/http/pprof
+		}()
 	}
 
 	httpSrv := &http.Server{

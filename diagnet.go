@@ -47,8 +47,36 @@ import (
 	"diagnet/internal/probe"
 	"diagnet/internal/resilience"
 	"diagnet/internal/services"
+	"diagnet/internal/telemetry"
 	"diagnet/internal/trace"
 )
+
+// Telemetry types (DESIGN.md §10). Every layer of the pipeline records into
+// one process-wide registry; Metrics snapshots it for export.
+type (
+	// MetricsSnapshot is a point-in-time copy of every counter, gauge and
+	// histogram in the process (JSON-marshalable).
+	MetricsSnapshot = telemetry.Snapshot
+	// HistogramSnapshot summarizes one latency/size distribution
+	// (count, sum, mean, p50/p90/p99).
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// MetricsRegistry is a named-metric registry; Default() is the
+	// process-wide one all DiagNet packages record into.
+	MetricsRegistry = telemetry.Registry
+)
+
+// Metrics snapshots the process-wide telemetry registry: per-stage Diagnose
+// timings, HTTP route latencies, probing-plane health counters, training
+// progress. Serve it as JSON or feed it to a scraper.
+func Metrics() MetricsSnapshot { return telemetry.Default().Snapshot() }
+
+// MetricsRegistryDefault returns the process-wide registry itself, for
+// callers that want to add their own counters next to DiagNet's.
+func MetricsRegistryDefault() *MetricsRegistry { return telemetry.Default() }
+
+// SetTelemetryEnabled toggles latency timing globally (counters stay on).
+// Disabled timing reduces instrumentation to one atomic load per stage.
+func SetTelemetryEnabled(on bool) { telemetry.SetEnabled(on) }
 
 // Model and training types.
 type (

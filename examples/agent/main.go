@@ -9,8 +9,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http/httptest"
+	"os"
 
 	"diagnet"
 	"diagnet/internal/analysis"
@@ -19,17 +21,32 @@ import (
 	"diagnet/internal/services"
 )
 
+// Size knobs, package-level so the smoke test can shrink them.
+var (
+	nominalSamples = 800
+	faultSamples   = 1800
+	filters        = 8
+	hidden         = []int{48, 24}
+	epochs         = 10
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// Train a small general model on the simulated deployment.
 	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
 	data := diagnet.Generate(diagnet.GenConfig{
-		World: world, NominalSamples: 800, FaultSamples: 1800, Seed: 11,
+		World: world, NominalSamples: nominalSamples, FaultSamples: faultSamples, Seed: 11,
 	})
 	train, _ := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
 	cfg := diagnet.DefaultConfig()
-	cfg.Filters = 8
-	cfg.Hidden = []int{48, 24}
-	cfg.Epochs = 10
+	cfg.Filters = filters
+	cfg.Hidden = hidden
+	cfg.Epochs = epochs
 	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
 
 	// Serve it as the central analysis service.
@@ -37,7 +54,7 @@ func main() {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := analysis.NewClient(ts.URL)
-	fmt.Println("analysis service on", ts.URL)
+	fmt.Fprintln(out, "analysis service on", ts.URL)
 
 	// A client in AMST watches image.local@GRAV. A loss fault hits GRAV
 	// from tick 60 on.
@@ -57,11 +74,11 @@ func main() {
 		if !degraded {
 			continue
 		}
-		fmt.Printf("\ntick %d: QoE degraded — local pre-filter flags:", ev.Tick)
+		fmt.Fprintf(out, "\ntick %d: QoE degraded — local pre-filter flags:", ev.Tick)
 		for _, j := range ev.Anomalies {
-			fmt.Printf(" %s", layout.FeatureName(j))
+			fmt.Fprintf(out, " %s", layout.FeatureName(j))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		resp, err := client.Diagnose(context.Background(), &analysis.DiagnoseRequest{
 			ServiceID: svc.ID,
 			Landmarks: layout.Landmarks,
@@ -69,12 +86,13 @@ func main() {
 			TopK:      3,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("analysis service says: family=%s (w_unknown=%.2f)\n", resp.Family, resp.UnknownWeight)
+		fmt.Fprintf(out, "analysis service says: family=%s (w_unknown=%.2f)\n", resp.Family, resp.UnknownWeight)
 		for i, c := range resp.Causes {
-			fmt.Printf("  %d. %-14s (%s) score %.3f\n", i+1, c.Name, c.Family, c.Score)
+			fmt.Fprintf(out, "  %d. %-14s (%s) score %.3f\n", i+1, c.Name, c.Family, c.Score)
 		}
 		break
 	}
+	return nil
 }

@@ -7,29 +7,47 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"diagnet"
 	"diagnet/internal/netsim"
 	"diagnet/internal/probe"
 )
 
+// Size knobs, package-level so the smoke test can shrink them.
+var (
+	nominalSamples = 800
+	faultSamples   = 1800
+	filters        = 8
+	hidden         = []int{48, 24}
+	epochs         = 10
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
 	data := diagnet.Generate(diagnet.GenConfig{
 		World:          world,
-		NominalSamples: 800,
-		FaultSamples:   1800,
+		NominalSamples: nominalSamples,
+		FaultSamples:   faultSamples,
 		Seed:           11,
 	})
 	train, _ := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
 
 	cfg := diagnet.DefaultConfig()
-	cfg.Filters = 8
-	cfg.Hidden = []int{48, 24}
-	cfg.Epochs = 10
+	cfg.Filters = filters
+	cfg.Hidden = hidden
+	cfg.Epochs = epochs
 	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
 	model := res.Model
-	fmt.Printf("model trained on landmarks: %v\n", diagnet.KnownRegions())
+	fmt.Fprintf(out, "model trained on landmarks: %v\n", diagnet.KnownRegions())
 
 	// Inject a loss fault at GRAV — a landmark hidden during training —
 	// and measure with the FULL landmark set.
@@ -39,10 +57,10 @@ func main() {
 	x := prober.Sample(netsim.LOND, full, env, nil)
 	diag := model.Diagnose(x, full)
 	trueCause, _ := full.CauseOf(env.Faults[0])
-	fmt.Printf("\nwith 10 landmarks (3 unseen in training):\n")
-	fmt.Printf("  coarse family: %v, attention mass on unseen landmarks w_U = %.2f\n",
+	fmt.Fprintf(out, "\nwith 10 landmarks (3 unseen in training):\n")
+	fmt.Fprintf(out, "  coarse family: %v, attention mass on unseen landmarks w_U = %.2f\n",
 		diag.Family, diag.UnknownWeight)
-	fmt.Printf("  top cause: %s (true: %s)\n",
+	fmt.Fprintf(out, "  top cause: %s (true: %s)\n",
 		full.FeatureName(diag.Ranked()[0]), full.FeatureName(trueCause))
 
 	// Now only four landmarks respond (maintenance, outages, probing
@@ -51,10 +69,11 @@ func main() {
 	few := diagnet.NewLayout([]int{netsim.LOND, netsim.AMST, netsim.SING, netsim.GRAV})
 	xf := prober.Sample(netsim.LOND, few, env, nil)
 	diagF := model.Diagnose(xf, few)
-	fmt.Printf("\nwith only 4 landmarks available:\n")
-	fmt.Printf("  coarse family: %v\n", diagF.Family)
-	fmt.Println("  top 3 causes:")
+	fmt.Fprintf(out, "\nwith only 4 landmarks available:\n")
+	fmt.Fprintf(out, "  coarse family: %v\n", diagF.Family)
+	fmt.Fprintln(out, "  top 3 causes:")
 	for i, j := range diagF.Ranked()[:3] {
-		fmt.Printf("    %d. %-14s score %.3f\n", i+1, few.FeatureName(j), diagF.Final[j])
+		fmt.Fprintf(out, "    %d. %-14s score %.3f\n", i+1, few.FeatureName(j), diagF.Final[j])
 	}
+	return nil
 }

@@ -8,45 +8,61 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"diagnet"
 )
 
+// Probe-cost knobs, package-level so the smoke test can shrink them.
+var (
+	pings         = 9
+	downloadBytes = int64(4 << 20)
+	uploadBytes   = int64(2 << 20)
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// Start three landmarks on ephemeral ports.
 	var urls []string
 	for i := 0; i < 3; i++ {
 		var lm diagnet.LandmarkServer
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		srv := &http.Server{Handler: lm.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go srv.Serve(ln)
 		defer srv.Close()
 		urls = append(urls, "http://"+ln.Addr().String())
 	}
-	fmt.Println("landmarks up:", urls)
+	fmt.Fprintln(out, "landmarks up:", urls)
 
 	// Probe each landmark the way a browser client would.
 	prober := diagnet.NewProber(diagnet.ProberConfig{
-		Pings:         9,
-		DownloadBytes: 4 << 20,
-		UploadBytes:   2 << 20,
+		Pings:         pings,
+		DownloadBytes: downloadBytes,
+		UploadBytes:   uploadBytes,
 	})
-	fmt.Printf("\n%-28s %9s %10s %12s %12s\n", "landmark", "rtt(ms)", "jitter(ms)", "down(Mbps)", "up(Mbps)")
+	fmt.Fprintf(out, "\n%-28s %9s %10s %12s %12s\n", "landmark", "rtt(ms)", "jitter(ms)", "down(Mbps)", "up(Mbps)")
 	for _, url := range urls {
 		m, err := prober.Probe(context.Background(), url)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-28s %9.3f %10.3f %12.0f %12.0f\n", url, m.RTTMs, m.JitterMs, m.DownMbps, m.UpMbps)
+		fmt.Fprintf(out, "%-28s %9.3f %10.3f %12.0f %12.0f\n", url, m.RTTMs, m.JitterMs, m.DownMbps, m.UpMbps)
 	}
-	fmt.Println("\nthese measurements are the live counterpart of the k=5 per-landmark")
-	fmt.Println("features DiagNet consumes (the simulator supplies loss ratios, which a")
-	fmt.Println("loopback cannot exhibit)")
+	fmt.Fprintln(out, "\nthese measurements are the live counterpart of the k=5 per-landmark")
+	fmt.Fprintln(out, "features DiagNet consumes (the simulator supplies loss ratios, which a")
+	fmt.Fprintln(out, "loopback cannot exhibit)")
+	return nil
 }

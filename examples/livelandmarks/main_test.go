@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke stands up the three loopback landmarks and probes them with
+// a tiny measurement budget.
+func TestRunSmoke(t *testing.T) {
+	pings = 3
+	downloadBytes = 256 << 10
+	uploadBytes = 128 << 10
+
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "landmarks up:") {
+		t.Fatalf("landmarks never came up:\n%s", out)
+	}
+	if got := strings.Count(out, "http://127.0.0.1:"); got < 3 {
+		t.Fatalf("expected 3 landmark URLs in output, saw %d:\n%s", got, out)
+	}
+}

@@ -8,6 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"diagnet"
 	"diagnet/internal/netsim"
@@ -15,27 +18,42 @@ import (
 	"diagnet/internal/qoe"
 )
 
+// Size knobs, package-level so the smoke test can shrink them.
+var (
+	nominalSamples = 800
+	faultSamples   = 1800
+	filters        = 8
+	hidden         = []int{48, 24}
+	epochs         = 10
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
 	data := diagnet.Generate(diagnet.GenConfig{
 		World:          world,
-		NominalSamples: 800,
-		FaultSamples:   1800,
+		NominalSamples: nominalSamples,
+		FaultSamples:   faultSamples,
 		Seed:           11,
 	})
 	train, _ := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
 
 	cfg := diagnet.DefaultConfig()
-	cfg.Filters = 8
-	cfg.Hidden = []int{48, 24}
-	cfg.Epochs = 10
+	cfg.Filters = filters
+	cfg.Hidden = hidden
+	cfg.Epochs = epochs
 	general := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
 
 	env := diagnet.Env{Tick: 100, Faults: []diagnet.Fault{
 		diagnet.NewFault(diagnet.FaultServiceDelay, netsim.BEAU),
 		diagnet.NewFault(diagnet.FaultServiceDelay, netsim.GRAV),
 	}}
-	fmt.Println("injected simultaneously: +50ms latency at BEAU and at GRAV (hidden in training)")
+	fmt.Fprintln(out, "injected simultaneously: +50ms latency at BEAU and at GRAV (hidden in training)")
 
 	q := qoe.New(world)
 	prober := probe.Prober{W: world}
@@ -43,7 +61,7 @@ func main() {
 	// A client near both fault regions sees the richest mix of outcomes.
 	client := netsim.GRAV
 
-	fmt.Printf("\n%-18s %-12s %-14s %s\n", "service", "degraded?", "relevant fault", "model's top cause")
+	fmt.Fprintf(out, "\n%-18s %-12s %-14s %s\n", "service", "degraded?", "relevant fault", "model's top cause")
 	for _, svc := range diagnet.Catalog()[:6] {
 		degraded := q.Degraded(client, svc, env)
 		relevant := "-"
@@ -71,6 +89,7 @@ func main() {
 			x := prober.Sample(client, layout, env, nil)
 			top = layout.FeatureName(model.Diagnose(x, layout).Ranked()[0])
 		}
-		fmt.Printf("%-18s %-12v %-14s %s\n", svc.Name(), degraded, relevant, top)
+		fmt.Fprintf(out, "%-18s %-12v %-14s %s\n", svc.Name(), degraded, relevant, top)
 	}
+	return nil
 }

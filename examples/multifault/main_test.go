@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the two-simultaneous-faults scenario with a tiny model
+// and checks the per-service table is produced.
+func TestRunSmoke(t *testing.T) {
+	nominalSamples, faultSamples = 150, 400
+	filters, hidden, epochs = 4, []int{16, 8}, 2
+
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "injected simultaneously") {
+		t.Fatalf("scenario banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "model's top cause") {
+		t.Fatalf("table header missing:\n%s", out)
+	}
+	// Six catalog services → six table rows (service names contain '@').
+	if rows := strings.Count(out, "@"); rows < 6 {
+		t.Fatalf("expected at least 6 service rows, got %d:\n%s", rows, out)
+	}
+}

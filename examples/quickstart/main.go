@@ -6,23 +6,41 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"diagnet"
 )
 
+// Size knobs, package-level so the smoke test can shrink them.
+var (
+	nominalSamples = 800
+	faultSamples   = 1800
+	filters        = 12
+	hidden         = []int{96, 48}
+	epochs         = 14
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// 1. Build the simulated ten-region multi-cloud world and generate a
 	// labeled dataset (clients probing landmarks while faults are
 	// injected; QoE decides which samples are degraded).
 	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
 	data := diagnet.Generate(diagnet.GenConfig{
 		World:          world,
-		NominalSamples: 800,
-		FaultSamples:   1800,
+		NominalSamples: nominalSamples,
+		FaultSamples:   faultSamples,
 		Seed:           11,
 	})
 	counts := data.Count(diagnet.HiddenLandmarks())
-	fmt.Printf("dataset: %d samples (%d nominal, %d degraded)\n",
+	fmt.Fprintf(out, "dataset: %d samples (%d nominal, %d degraded)\n",
 		counts.Total, counts.Nominal, counts.Degraded)
 
 	// 2. Split with the paper's policy: faults near the hidden landmarks
@@ -32,27 +50,31 @@ func main() {
 	// 3. Train a general model on the seven known landmarks. A smaller
 	// architecture than Table I keeps this example fast.
 	cfg := diagnet.DefaultConfig()
-	cfg.Filters = 12
-	cfg.Hidden = []int{96, 48}
-	cfg.Epochs = 14
+	cfg.Filters = filters
+	cfg.Hidden = hidden
+	cfg.Epochs = epochs
 	res := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
-	fmt.Printf("trained general model in %d epochs\n", res.History.Epochs())
+	fmt.Fprintf(out, "trained general model in %d epochs\n", res.History.Epochs())
 
 	// 4. Diagnose the first degraded test sample using all ten landmarks —
 	// including the three the model never saw during training.
 	layout := diagnet.FullLayout()
 	deg := test.Degraded()
+	if deg.Len() == 0 {
+		return fmt.Errorf("no degraded samples in the test split")
+	}
 	s := &deg.Samples[0]
 	diag := res.Model.Diagnose(s.Features, layout)
 
-	fmt.Printf("\ncoarse prediction: %v\n", diag.Family)
-	fmt.Printf("true root cause:   %s\n", layout.FeatureName(s.Cause))
-	fmt.Println("top 5 predicted root causes:")
+	fmt.Fprintf(out, "\ncoarse prediction: %v\n", diag.Family)
+	fmt.Fprintf(out, "true root cause:   %s\n", layout.FeatureName(s.Cause))
+	fmt.Fprintln(out, "top 5 predicted root causes:")
 	for i, j := range diag.Ranked()[:5] {
 		marker := " "
 		if j == s.Cause {
 			marker = "←"
 		}
-		fmt.Printf("  %d. %-14s score %.3f %s\n", i+1, layout.FeatureName(j), diag.Final[j], marker)
+		fmt.Fprintf(out, "  %d. %-14s score %.3f %s\n", i+1, layout.FeatureName(j), diag.Final[j], marker)
 	}
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke compiles and runs the example end to end on a shrunk
+// configuration: it must finish without error and print a diagnosis.
+func TestRunSmoke(t *testing.T) {
+	nominalSamples, faultSamples = 150, 400
+	filters, hidden, epochs = 4, []int{16, 8}, 2
+
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dataset:", "coarse prediction:", "top 5 predicted root causes:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

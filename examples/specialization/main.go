@@ -8,30 +8,48 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"diagnet"
 )
 
+// Size knobs, package-level so the smoke test can shrink them.
+var (
+	nominalSamples = 800
+	faultSamples   = 1800
+	filters        = 8
+	hidden         = []int{48, 24}
+	epochs         = 10
+)
+
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	world := diagnet.NewWorld(diagnet.WorldConfig{Seed: 1})
 	data := diagnet.Generate(diagnet.GenConfig{
 		World:          world,
-		NominalSamples: 800,
-		FaultSamples:   1800,
+		NominalSamples: nominalSamples,
+		FaultSamples:   faultSamples,
 		Seed:           11,
 	})
 	train, test := data.Split(0.8, diagnet.HiddenLandmarks(), 13)
 
 	cfg := diagnet.DefaultConfig()
-	cfg.Filters = 8
-	cfg.Hidden = []int{48, 24}
-	cfg.Epochs = 10
+	cfg.Filters = filters
+	cfg.Hidden = hidden
+	cfg.Epochs = epochs
 	general := diagnet.TrainGeneral(train, diagnet.KnownRegions(), cfg)
 	total, _ := general.Model.ParamCount()
-	fmt.Printf("general model: %d parameters, %d epochs\n", total, general.History.Epochs())
+	fmt.Fprintf(out, "general model: %d parameters, %d epochs\n", total, general.History.Epochs())
 
 	// Specialize for every service that has training data.
-	fmt.Println("\nper-service specialization (frozen convolution):")
+	fmt.Fprintln(out, "\nper-service specialization (frozen convolution):")
 	specialized := map[int]*diagnet.Model{}
 	for _, svc := range diagnet.Catalog() {
 		if train.FilterService(svc.ID).Len() == 0 {
@@ -40,7 +58,7 @@ func main() {
 		res := general.Model.Specialize(train, svc.ID)
 		specialized[svc.ID] = res.Model
 		_, trainable := res.Model.ParamCount()
-		fmt.Printf("  %-16s %d trainable of %d params, %d epochs\n",
+		fmt.Fprintf(out, "  %-16s %d trainable of %d params, %d epochs\n",
 			svc.Name(), trainable, total, res.History.Epochs())
 	}
 
@@ -62,6 +80,10 @@ func main() {
 			hitS++
 		}
 	}
-	fmt.Printf("\nRecall@1 on %d degraded test samples: general %.1f%%, specialized %.1f%%\n",
+	if n == 0 {
+		return fmt.Errorf("no degraded test samples for any specialized service")
+	}
+	fmt.Fprintf(out, "\nRecall@1 on %d degraded test samples: general %.1f%%, specialized %.1f%%\n",
 		n, 100*float64(hitG)/float64(n), 100*float64(hitS)/float64(n))
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke trains a tiny general model, specializes it per service,
+// and checks the Recall@1 comparison is reported.
+func TestRunSmoke(t *testing.T) {
+	nominalSamples, faultSamples = 150, 400
+	filters, hidden, epochs = 4, []int{16, 8}, 2
+
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"general model:", "per-service specialization", "Recall@1 on"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

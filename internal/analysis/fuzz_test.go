@@ -4,8 +4,74 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// fuzzHandler lazily builds one shared Server handler for in-process fuzz
+// targets (no TCP listener, so executions are cheap).
+var (
+	fuzzHandlerOnce sync.Once
+	fuzzHandler     http.Handler
+)
+
+func sharedFuzzHandler() http.Handler {
+	fuzzHandlerOnce.Do(func() {
+		m, _ := buildFixture()
+		fuzzHandler = NewServer(m).Handler()
+	})
+	return fuzzHandler
+}
+
+// FuzzHandleDiagnose drives the single-diagnosis JSON decode path directly
+// through the handler: any body must yield a 200 or a 400, never a panic or
+// a 500. This is the target that caught the unknown-landmark-region panic
+// now guarded by probe.Layout.Validate.
+func FuzzHandleDiagnose(f *testing.F) {
+	f.Add(`{"service_id":0,"landmarks":[0],"features":[1,2,3,4,5,6,7,8,9,10]}`)
+	f.Add(`{"landmarks":[99],"features":[1,2,3,4,5,6,7,8,9,10]}`)                 // unknown region
+	f.Add(`{"landmarks":[0,0],"features":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]}`) // duplicate
+	f.Add(`{"landmarks":[-1],"features":[1,2,3,4,5,6,7,8,9,10]}`)
+	f.Add(`{"service_id":9999,"landmarks":[1,2],"features":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}`)
+	f.Add(`{"top_k":-3,"landmarks":[0],"features":[1,2,3,4,5,6,7,8,9,10]}`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		h := sharedFuzzHandler()
+		req := httptest.NewRequest(http.MethodPost, "/v1/diagnose", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}
+
+// FuzzHandleBatch does the same for the batch decode path, which has its
+// own envelope parsing and per-item error reporting.
+func FuzzHandleBatch(f *testing.F) {
+	f.Add(`{"requests":[{"landmarks":[0],"features":[1,2,3,4,5,6,7,8,9,10]}]}`)
+	f.Add(`{"requests":[]}`)
+	f.Add(`{"requests":null}`)
+	f.Add(`{"requests":[{"landmarks":[99],"features":[1,2,3,4,5,6,7,8,9,10]},{"landmarks":[0],"features":[1]}]}`)
+	f.Add(`{"requests":[null]}`)
+	f.Add(`{"requests": 7}`)
+	f.Add(`{`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		h := sharedFuzzHandler()
+		req := httptest.NewRequest(http.MethodPost, "/v1/diagnose-batch", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}
 
 // FuzzDiagnoseHTTP ensures arbitrary request bodies never crash the
 // analysis service — they must yield 400s (or a 200 for the valid seed).

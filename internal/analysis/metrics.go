@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"net/http"
+
+	"diagnet/internal/telemetry"
+)
+
+// Per-route HTTP metrics (DESIGN.md §10): request and error counters, a
+// latency histogram, plus service-wide gauges. Resolved once at init so
+// the serving path pays only atomic operations.
+var (
+	mInflight  = telemetry.Default().Gauge("http.inflight")
+	mBatchSize = telemetry.Default().Histogram("http.diagnose_batch.size", telemetry.SizeBuckets)
+)
+
+// routeMetrics is one route's instrumentation bundle.
+type routeMetrics struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func newRouteMetrics(name string) *routeMetrics {
+	return &routeMetrics{
+		requests: telemetry.Default().Counter("http." + name + ".requests"),
+		errors:   telemetry.Default().Counter("http." + name + ".errors"),
+		latency:  telemetry.Default().Histogram("http."+name+".latency_ms", nil),
+	}
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the route's counters, latency histogram
+// and the shared in-flight gauge. Panics still propagate to the recover
+// middleware; the deferred block keeps the gauge and counters consistent
+// on that path too (a panic counts as an error).
+func instrument(name string, next http.HandlerFunc) http.HandlerFunc {
+	m := newRouteMetrics(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Inc()
+		mInflight.Add(1)
+		clock := telemetry.StartStages()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		finished := false
+		defer func() {
+			mInflight.Add(-1)
+			clock.Done(m.latency)
+			if !finished || rec.status >= 400 {
+				m.errors.Inc()
+			}
+		}()
+		next(rec, r)
+		finished = true
+	}
+}
+
+// handleMetrics serves the process-wide telemetry snapshot: per-route
+// request counts and latency percentiles, per-stage Diagnose timings
+// (recorded by internal/core), probing-plane and training metrics — one
+// JSON document, cheap enough to scrape every few seconds.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, telemetry.Default().Snapshot())
+}

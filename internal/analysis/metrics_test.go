@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"diagnet/internal/telemetry"
+)
+
+// fetchSnapshot GETs /v1/metrics and decodes it.
+func fetchSnapshot(t *testing.T, baseURL string) telemetry.Snapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestMetricsEndpoint is the acceptance check for the telemetry tentpole:
+// after serving traffic, GET /v1/metrics must report per-route latency
+// percentiles and the per-stage Diagnose timings recorded by internal/core.
+// The registry is process-wide and shared across tests, so everything is
+// asserted as a delta against a baseline snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newService(t)
+	before := fetchSnapshot(t, ts.URL)
+
+	req := sampleRequest(t)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("diagnose status %d", resp.StatusCode)
+		}
+	}
+	// One failing request must move the error counter.
+	resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// And one batch request must feed the batch-size histogram.
+	batch, err := json.Marshal(map[string]any{"requests": []any{req, req}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/diagnose-batch", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	after := fetchSnapshot(t, ts.URL)
+
+	if d := after.Counters["http.diagnose.requests"] - before.Counters["http.diagnose.requests"]; d != n+1 {
+		t.Fatalf("diagnose request delta %d, want %d", d, n+1)
+	}
+	if d := after.Counters["http.diagnose.errors"] - before.Counters["http.diagnose.errors"]; d != 1 {
+		t.Fatalf("diagnose error delta %d, want 1", d)
+	}
+
+	// Per-route latency percentiles.
+	lat := after.Histograms["http.diagnose.latency_ms"]
+	if lat.Count-before.Histograms["http.diagnose.latency_ms"].Count != n+1 {
+		t.Fatalf("latency observations %d -> %d, want +%d",
+			before.Histograms["http.diagnose.latency_ms"].Count, lat.Count, n+1)
+	}
+	if !(lat.P50 > 0 && lat.P50 <= lat.P90 && lat.P90 <= lat.P99) {
+		t.Fatalf("latency percentiles not ordered: p50=%v p90=%v p99=%v", lat.P50, lat.P90, lat.P99)
+	}
+
+	// Per-stage Diagnose timings from internal/core. The batch contributes
+	// 2 more Diagnose calls on top of the n HTTP singles.
+	stages := []string{
+		"core.diagnose.stage.normalize_ms",
+		"core.diagnose.stage.forward_gradient_ms",
+		"core.diagnose.stage.weighting_ms",
+		"core.diagnose.stage.ensemble_ms",
+		"core.diagnose.total_ms",
+	}
+	for _, name := range stages {
+		d := after.Histograms[name].Count - before.Histograms[name].Count
+		if d < n+2 {
+			t.Fatalf("stage %s observed %d times, want >= %d", name, d, n+2)
+		}
+	}
+	if d := after.Counters["core.diagnose.calls"] - before.Counters["core.diagnose.calls"]; d < n+2 {
+		t.Fatalf("core.diagnose.calls delta %d, want >= %d", d, n+2)
+	}
+
+	// Batch sizes are recorded.
+	if d := after.Histograms["http.diagnose_batch.size"].Count - before.Histograms["http.diagnose_batch.size"].Count; d != 1 {
+		t.Fatalf("batch size delta %d, want 1", d)
+	}
+	// The in-flight gauge exists; while /v1/metrics itself is being served
+	// it reads at least 1 (the metrics request is instrumented too).
+	if got, ok := after.Gauges["http.inflight"]; !ok || got < 1 {
+		t.Fatalf("http.inflight gauge = %v, present=%v", got, ok)
+	}
+}
+
+func TestMetricsEndpointMethod(t *testing.T) {
+	_, ts := newService(t)
+	resp, err := http.Post(ts.URL+"/v1/metrics", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/metrics status %d", resp.StatusCode)
+	}
+}

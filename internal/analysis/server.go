@@ -144,21 +144,31 @@ func (s *Server) SetSpecialized(serviceID int, m *core.Model) {
 	s.specialized[serviceID] = m
 }
 
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
 // Handler returns the service's HTTP handler:
 //
 //	POST /v1/diagnose       → DiagnoseResponse
 //	POST /v1/diagnose-batch → BatchResponse
 //	GET  /v1/model          → ModelInfo
+//	GET  /v1/metrics        → telemetry.Snapshot
 //	GET  /healthz           → 204
+//
+// Every /v1 route is instrumented with request/error counters and a
+// latency histogram; the aggregate is served by /v1/metrics itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
-	mux.HandleFunc("/v1/diagnose-batch", s.handleBatch)
-	mux.HandleFunc("/v1/model", s.handleModel)
-	mux.HandleFunc("/v1/drift", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(s.DriftStatus())
-	})
+	mux.HandleFunc("/v1/diagnose", instrument("diagnose", s.handleDiagnose))
+	mux.HandleFunc("/v1/diagnose-batch", instrument("diagnose_batch", s.handleBatch))
+	mux.HandleFunc("/v1/model", instrument("model", s.handleModel))
+	mux.HandleFunc("/v1/drift", instrument("drift", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.DriftStatus())
+	}))
+	mux.HandleFunc("/v1/metrics", instrument("metrics", handleMetrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	})
@@ -194,6 +204,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("batch size must be in [1, %d]", maxBatch), http.StatusBadRequest)
 		return
 	}
+	mBatchSize.Observe(float64(len(req.Requests)))
 	resp := BatchResponse{
 		Responses: make([]*DiagnoseResponse, len(req.Requests)),
 		Errors:    make([]string, len(req.Requests)),
@@ -206,8 +217,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Responses[i] = out
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -224,8 +234,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, resp)
 }
 
 // Diagnose runs the pipeline on a request (also usable in-process).
@@ -237,6 +246,15 @@ func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
 	if len(req.Features) != layout.NumFeatures() {
 		return nil, fmt.Errorf("analysis: %d features for %d landmarks (want %d)",
 			len(req.Features), len(req.Landmarks), layout.NumFeatures())
+	}
+	s.mu.Lock()
+	fullLayout := s.general.FullLayout
+	s.mu.Unlock()
+	// Regions outside the model's deployment layout are unrepresentable in
+	// the ensemble's cause space — reject them as a client error instead of
+	// panicking deep inside the re-indexing (found by FuzzHandleDiagnose).
+	if err := layout.Validate(fullLayout); err != nil {
+		return nil, fmt.Errorf("analysis: bad landmark list: %w", err)
 	}
 	topK := req.TopK
 	if topK <= 0 {
@@ -286,6 +304,5 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		info.Specialized = append(info.Specialized, id)
 	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(info)
+	writeJSON(w, info)
 }

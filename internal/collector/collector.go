@@ -15,6 +15,15 @@ import (
 	"time"
 
 	"diagnet/internal/stats"
+	"diagnet/internal/telemetry"
+)
+
+// Collector metrics (DESIGN.md §10), shared by every agent in the process
+// — a deployment running several agents sums into one event budget.
+var (
+	mSteps   = telemetry.Default().Counter("collector.steps")
+	mEvents  = telemetry.Default().Counter("collector.events")
+	mDropped = telemetry.Default().Counter("collector.dropped")
 )
 
 // Source abstracts where measurements come from: the simulator, a live
@@ -145,6 +154,7 @@ func NewAgent(source Source, features int, cfg Config) *Agent {
 // baseline; degraded ones do not (they would poison it).
 func (a *Agent) Step(tick int64) (Event, bool) {
 	a.steps++
+	mSteps.Inc()
 	x := a.source.Sample(tick)
 	a.history = append(a.history, x)
 	a.ticks = append(a.ticks, tick)
@@ -154,6 +164,7 @@ func (a *Agent) Step(tick int64) (Event, bool) {
 	}
 	if a.source.Degraded(tick) {
 		a.events++
+		mEvents.Inc()
 		return Event{Tick: tick, Features: x, Anomalies: a.baseline.Anomalies(x, a.cfg.ZThreshold)}, true
 	}
 	a.baseline.Update(x)
@@ -176,6 +187,7 @@ func (a *Agent) Run(ctx context.Context, interval time.Duration, startTick int64
 				select {
 				case out <- ev:
 				default:
+					mDropped.Inc()
 					if a.dropped.Add(1) == 1 {
 						log.Printf("collector: event channel full at tick %d; dropping (counted in Stats)", ev.Tick)
 					}

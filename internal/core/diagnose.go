@@ -6,6 +6,7 @@ import (
 
 	"diagnet/internal/nn"
 	"diagnet/internal/probe"
+	"diagnet/internal/telemetry"
 )
 
 // Diagnosis is the output of DiagNet for one degraded sample: the coarse
@@ -47,7 +48,10 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 	if len(features) != layout.NumFeatures() {
 		panic("core: feature vector does not match layout")
 	}
+	mDiagnoses.Inc()
+	clock := telemetry.StartStages()
 	normed := m.Norm.Apply(features, layout)
+	clock.Mark(mStageNormalize)
 
 	// Steps ①–④: coarse prediction; step ⑤: one backpropagation pass of
 	// the ideal-label loss L* down to the inputs (§III-E).
@@ -72,8 +76,10 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 			attention[i] = u
 		}
 	}
+	clock.Mark(mStageAttention)
 
 	tuned := scoreWeighting(attention, coarse, layout, fam)
+	clock.Mark(mStageWeighting)
 
 	// Ensemble averaging (§III-F): w_U γ̂′ + (1−w_U) α̂.
 	var wU float64
@@ -87,6 +93,8 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 	for j := range final {
 		final[j] = wU*tuned[j] + (1-wU)*aux[j]
 	}
+	clock.Mark(mStageEnsemble)
+	clock.Done(mDiagnoseTotal)
 
 	return &Diagnosis{
 		Layout:        layout,

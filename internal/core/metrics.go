@@ -1,0 +1,19 @@
+package core
+
+import "diagnet/internal/telemetry"
+
+// Pipeline metrics, resolved once so the Diagnose hot path pays only
+// atomic operations (see the overhead benchmark in metrics_bench_test.go;
+// DESIGN.md §10 documents the naming scheme and budget).
+var (
+	mDiagnoses = telemetry.Default().Counter("core.diagnose.calls")
+	// Per-stage wall time of one Diagnose call, following the paper's
+	// pipeline: normalization, forward + input-gradient attention (§III-E),
+	// Algorithm 1 multi-label weighting, and forest ensemble averaging
+	// (§III-F).
+	mStageNormalize = telemetry.Default().Histogram("core.diagnose.stage.normalize_ms", nil)
+	mStageAttention = telemetry.Default().Histogram("core.diagnose.stage.forward_gradient_ms", nil)
+	mStageWeighting = telemetry.Default().Histogram("core.diagnose.stage.weighting_ms", nil)
+	mStageEnsemble  = telemetry.Default().Histogram("core.diagnose.stage.ensemble_ms", nil)
+	mDiagnoseTotal  = telemetry.Default().Histogram("core.diagnose.total_ms", nil)
+)

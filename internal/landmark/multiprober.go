@@ -7,7 +7,36 @@ import (
 	"time"
 
 	"diagnet/internal/resilience"
+	"diagnet/internal/telemetry"
 )
+
+// Probing-plane metrics (DESIGN.md §10): round and landmark counters plus
+// circuit-breaker state transitions, shared by every MultiProber in the
+// process.
+var (
+	mRounds         = telemetry.Default().Counter("probe.rounds")
+	mRoundsDegraded = telemetry.Default().Counter("probe.rounds_degraded")
+	mRoundMs        = telemetry.Default().Histogram("probe.round_ms", nil)
+	mLandmarkMs     = telemetry.Default().Histogram("probe.landmark_ms", nil)
+	mProbeSuccesses = telemetry.Default().Counter("probe.landmark.successes")
+	mProbeFailures  = telemetry.Default().Counter("probe.landmark.failures")
+	mProbeSkips     = telemetry.Default().Counter("probe.landmark.skips")
+	mBreakerOpened  = telemetry.Default().Counter("probe.breaker.opened")
+	mBreakerHalf    = telemetry.Default().Counter("probe.breaker.half_open")
+	mBreakerClosed  = telemetry.Default().Counter("probe.breaker.closed")
+)
+
+// countTransition feeds breaker state changes into the transition counters.
+func countTransition(_, to resilience.BreakerState) {
+	switch to {
+	case resilience.Open:
+		mBreakerOpened.Inc()
+	case resilience.HalfOpen:
+		mBreakerHalf.Inc()
+	case resilience.Closed:
+		mBreakerClosed.Inc()
+	}
+}
 
 // MultiProberConfig tunes the fault-tolerant multi-landmark prober.
 type MultiProberConfig struct {
@@ -61,13 +90,13 @@ func (r ProbeResult) OK() bool { return r.Err == nil && !r.Skipped }
 
 // LandmarkHealth is a snapshot of one landmark's probing history.
 type LandmarkHealth struct {
-	State               string  `json:"state"` // closed | open | half-open
-	ConsecutiveFailures int     `json:"consecutive_failures"`
-	EWMALatencyMs       float64 `json:"ewma_latency_ms"` // full-probe wall time
-	Probes              int64   `json:"probes"`          // full probes attempted
-	Successes           int64   `json:"successes"`
-	Skips               int64   `json:"skips"` // rounds skipped by an open circuit
-	LastError           string  `json:"last_error,omitempty"`
+	State               string    `json:"state"` // closed | open | half-open
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+	EWMALatencyMs       float64   `json:"ewma_latency_ms"` // full-probe wall time
+	Probes              int64     `json:"probes"`          // full probes attempted
+	Successes           int64     `json:"successes"`
+	Skips               int64     `json:"skips"` // rounds skipped by an open circuit
+	LastError           string    `json:"last_error,omitempty"`
 	LastSuccess         time.Time `json:"last_success"`
 }
 
@@ -113,8 +142,12 @@ func (mp *MultiProber) state(url string) *landmarkState {
 	defer mp.mu.Unlock()
 	st, ok := mp.states[url]
 	if !ok {
+		bcfg := mp.cfg.Breaker
+		if bcfg.OnTransition == nil {
+			bcfg.OnTransition = countTransition
+		}
 		st = &landmarkState{
-			breaker: resilience.NewBreaker(mp.cfg.Breaker),
+			breaker: resilience.NewBreaker(bcfg),
 			latency: resilience.NewEWMA(0.3),
 		}
 		mp.states[url] = st
@@ -130,6 +163,8 @@ func (mp *MultiProber) state(url string) *landmarkState {
 func (mp *MultiProber) ProbeAll(ctx context.Context, urls []string) ([]ProbeResult, bool) {
 	ctx, cancel := context.WithTimeout(ctx, mp.cfg.RoundTimeout)
 	defer cancel()
+	mRounds.Inc()
+	roundStart := time.Now()
 
 	results := make([]ProbeResult, len(urls))
 	sem := make(chan struct{}, mp.cfg.MaxConcurrent)
@@ -152,6 +187,10 @@ func (mp *MultiProber) ProbeAll(ctx context.Context, urls []string) ([]ProbeResu
 			break
 		}
 	}
+	telemetry.ObserveSince(mRoundMs, roundStart)
+	if partial {
+		mRoundsDegraded.Inc()
+	}
 	return results, partial
 }
 
@@ -165,6 +204,7 @@ func (mp *MultiProber) probeOne(ctx context.Context, index int, url string) Prob
 		res.Skipped = true
 		res.Err = fmt.Errorf("landmark %s: %w (state %s)", url, resilience.ErrCircuitOpen, state)
 		st.recordSkip()
+		mProbeSkips.Inc()
 		return res
 	}
 	if state == resilience.HalfOpen {
@@ -179,6 +219,7 @@ func (mp *MultiProber) probeOne(ctx context.Context, index int, url string) Prob
 			res.Skipped = true
 			res.Err = fmt.Errorf("landmark %s: half-open ping failed: %w", url, err)
 			st.recordFailure(res.Err)
+			mProbeFailures.Inc()
 			return res
 		}
 		st.breaker.Success()
@@ -198,11 +239,14 @@ func (mp *MultiProber) probeOne(ctx context.Context, index int, url string) Prob
 		st.breaker.Failure()
 		res.Err = fmt.Errorf("landmark %s: %w", url, err)
 		st.recordFailure(res.Err)
+		mProbeFailures.Inc()
 		return res
 	}
 	st.breaker.Success()
 	st.latency.Observe(float64(res.Elapsed.Milliseconds()))
 	st.recordSuccess()
+	mProbeSuccesses.Inc()
+	mLandmarkMs.Observe(telemetry.Millis(res.Elapsed))
 	res.Measurement = m
 	return res
 }

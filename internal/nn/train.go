@@ -6,6 +6,17 @@ import (
 	"math/rand"
 
 	"diagnet/internal/mat"
+	"diagnet/internal/telemetry"
+)
+
+// Training metrics (DESIGN.md §10): epoch pacing and the latest losses, so
+// a long-running retraining job can be watched from the metrics endpoint.
+var (
+	mEpochs  = telemetry.Default().Counter("nn.train.epochs")
+	mBatches = telemetry.Default().Counter("nn.train.batches")
+	mEpochMs = telemetry.Default().Histogram("nn.train.epoch_ms", nil)
+	mLoss    = telemetry.Default().Gauge("nn.train.loss")
+	mValLoss = telemetry.Default().Gauge("nn.train.val_loss")
 )
 
 // TrainConfig controls Trainer.Fit.
@@ -97,6 +108,7 @@ func (t *Trainer) FitGroups(groups []Group, valX *mat.Matrix, valLabels []int, c
 	t.Net.SetTraining(true)
 	defer t.Net.SetTraining(false)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochClock := telemetry.StartStages()
 		var refs []batchRef
 		for gi, order := range orders {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -132,6 +144,10 @@ func (t *Trainer) FitGroups(groups []Group, valX *mat.Matrix, valLabels []int, c
 		}
 		epochLoss /= float64(batches)
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+		mEpochs.Inc()
+		mBatches.Add(int64(batches))
+		mLoss.Set(epochLoss)
+		epochClock.Done(mEpochMs)
 
 		valLoss := math.NaN()
 		if valX != nil && valX.Rows > 0 {
@@ -139,6 +155,7 @@ func (t *Trainer) FitGroups(groups []Group, valX *mat.Matrix, valLabels []int, c
 			valLoss = t.Evaluate(valX, valLabels)
 			t.Net.SetTraining(true)
 			hist.ValLoss = append(hist.ValLoss, valLoss)
+			mValLoss.Set(valLoss)
 			if valLoss < bestVal-1e-6 {
 				bestVal = valLoss
 				hist.BestEpoch = epoch

@@ -1,0 +1,103 @@
+package probe
+
+import (
+	"testing"
+
+	"diagnet/internal/netsim"
+)
+
+// decodeLandmarks turns fuzz bytes into a landmark region list: each byte
+// is one region index, signed around zero so out-of-range and negative
+// regions are generated too.
+func decodeLandmarks(data []byte) []int {
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	lms := make([]int, len(data))
+	for i, b := range data {
+		lms[i] = int(int8(b))
+	}
+	return lms
+}
+
+// FuzzLayoutValidate checks the Validate/feature-space invariants for
+// arbitrary landmark lists against the full deployment layout: a layout
+// that validates must support every per-feature operation without
+// panicking, and a layout that fails validation must do so for a stated
+// reason (empty, unknown region, or duplicate).
+func FuzzLayoutValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{9})
+	f.Add([]byte{})
+	f.Add([]byte{3, 3})
+	f.Add([]byte{99})
+	f.Add([]byte{0xFF})                             // region -1
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})     // the full layout itself
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 10}) // one region too many
+
+	full := FullLayout()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lms := decodeLandmarks(data)
+		l := NewLayout(lms)
+		err := l.Validate(full)
+
+		// Cross-check the verdict against a direct scan.
+		wantErr := len(lms) == 0
+		seen := map[int]bool{}
+		for _, r := range lms {
+			if r < 0 || r >= netsim.NumRegions || seen[r] {
+				wantErr = true
+			}
+			seen[r] = true
+		}
+		if (err != nil) != wantErr {
+			t.Fatalf("Validate(%v) = %v, want error %v", lms, err, wantErr)
+		}
+		if err != nil {
+			return
+		}
+
+		// A validated layout must support the whole feature-space API.
+		if got := l.NumFeatures(); got != len(lms)*int(NumMetrics)+NumLocal {
+			t.Fatalf("NumFeatures = %d for %d landmarks", got, len(lms))
+		}
+		fams := l.Families()
+		for i := 0; i < l.NumFeatures(); i++ {
+			if name := l.FeatureName(i); name == "" {
+				t.Fatalf("feature %d has no name", i)
+			}
+			if fams[i] != l.FamilyOf(i) {
+				t.Fatalf("Families()[%d] disagrees with FamilyOf", i)
+			}
+			if fams[i] <= FamNominal || fams[i] >= NumFamilies {
+				t.Fatalf("feature %d has family %v", i, fams[i])
+			}
+		}
+		for pos, region := range lms {
+			if got := l.LandmarkPos(region); got != pos {
+				t.Fatalf("LandmarkPos(%d) = %d, want %d", region, got, pos)
+			}
+			if fullPos := full.LandmarkPos(region); fullPos < 0 {
+				t.Fatalf("validated region %d missing from full layout", region)
+			}
+		}
+		// Projection from the full layout must preserve landmark metrics.
+		features := make([]float64, full.NumFeatures())
+		for i := range features {
+			features[i] = float64(i)
+		}
+		sub := full.Project(features, l)
+		if len(sub) != l.NumFeatures() {
+			t.Fatalf("projected %d features, want %d", len(sub), l.NumFeatures())
+		}
+		for pos, region := range lms {
+			for m := 0; m < int(NumMetrics); m++ {
+				want := features[full.FeatureIndex(full.LandmarkPos(region), Metric(m))]
+				if got := sub[l.FeatureIndex(pos, Metric(m))]; got != want {
+					t.Fatalf("projection moved %s for region %d: got %v want %v",
+						Metric(m), region, got, want)
+				}
+			}
+		}
+	})
+}

@@ -179,6 +179,29 @@ func (l Layout) Families() []Family {
 	return fams
 }
 
+// Validate checks that this layout can be diagnosed against a model whose
+// deployment-wide layout is full: every landmark region must have a
+// position in full (the ensemble re-indexes scores through it, so an
+// unknown region is not merely unhelpful — it is unrepresentable), and no
+// region may appear twice (duplicate positions would silently split one
+// root cause's score mass).
+func (l Layout) Validate(full Layout) error {
+	if len(l.Landmarks) == 0 {
+		return fmt.Errorf("probe: layout has no landmarks")
+	}
+	seen := make(map[int]bool, len(l.Landmarks))
+	for _, region := range l.Landmarks {
+		if full.LandmarkPos(region) < 0 {
+			return fmt.Errorf("probe: landmark region %d not in the deployment layout", region)
+		}
+		if seen[region] {
+			return fmt.Errorf("probe: landmark region %d listed twice", region)
+		}
+		seen[region] = true
+	}
+	return nil
+}
+
 // LandmarkPos returns the position of a region's landmark in this layout,
 // or -1 when the region has no landmark here.
 func (l Layout) LandmarkPos(region int) int {

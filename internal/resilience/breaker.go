@@ -45,6 +45,10 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Now substitutes a fake clock in tests (default time.Now).
 	Now func() time.Time
+	// OnTransition, when non-nil, is invoked after every state change
+	// (telemetry hooks). It is called outside the breaker's lock and must
+	// be safe for concurrent use.
+	OnTransition func(from, to BreakerState)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -79,19 +83,37 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
 }
 
+// transition switches the state under the lock and returns the hook call
+// to make after unlocking (nil when the state did not change).
+func (b *Breaker) transition(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if from == to || b.cfg.OnTransition == nil {
+		return nil
+	}
+	hook := b.cfg.OnTransition
+	return func() { hook(from, to) }
+}
+
 // Allow reports whether a request may proceed and under which state.
 // When it returns (HalfOpen, true) the caller holds the single trial slot
 // and MUST report the outcome via Success or Failure (other callers are
 // refused meanwhile).
 func (b *Breaker) Allow() (BreakerState, bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
+	defer func() {
+		b.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+	}()
 	switch b.state {
 	case Closed:
 		return Closed, true
 	case Open:
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
-			b.state = HalfOpen
+			notify = b.transition(HalfOpen)
 			b.trialActive = true
 			return HalfOpen, true
 		}
@@ -109,28 +131,35 @@ func (b *Breaker) Allow() (BreakerState, bool) {
 // Success records a successful request, closing the circuit.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = Closed
+	notify := b.transition(Closed)
 	b.consecFails = 0
 	b.trialActive = false
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // Failure records a failed request; it may open the circuit.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	b.consecFails++
 	switch b.state {
 	case HalfOpen:
 		// The trial failed: back to a full cooldown.
-		b.state = Open
+		notify = b.transition(Open)
 		b.openedAt = b.cfg.Now()
 		b.trialActive = false
 	case Closed:
 		if b.consecFails >= b.cfg.FailureThreshold {
-			b.state = Open
+			notify = b.transition(Open)
 			b.openedAt = b.cfg.Now()
 		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 

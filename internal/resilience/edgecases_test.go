@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleTrialConcurrent drives many goroutines at a
+// breaker whose cooldown just elapsed: exactly one of them may win the
+// half-open trial slot, everybody else must be refused until the trial
+// reports its outcome.
+func TestBreakerHalfOpenSingleTrialConcurrent(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		Now:              func() time.Time { return now },
+	})
+	b.Failure() // open
+	if st, ok := b.Allow(); ok || st != Open {
+		t.Fatalf("Allow during cooldown = (%v, %v)", st, ok)
+	}
+	now = now.Add(2 * time.Second) // cooldown elapsed
+
+	const callers = 32
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if st, ok := b.Allow(); ok {
+				if st != HalfOpen {
+					t.Errorf("admitted under state %v, want half-open", st)
+				}
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d callers admitted into half-open, want exactly 1", got)
+	}
+	// The slot stays taken until the trial reports; then a success closes
+	// the circuit for everyone.
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second trial admitted while the first is in flight")
+	}
+	b.Success()
+	if st, ok := b.Allow(); !ok || st != Closed {
+		t.Fatalf("after trial success Allow = (%v, %v), want (closed, true)", st, ok)
+	}
+}
+
+// TestBreakerHalfOpenTrialFailureReopens checks the losing path: a failed
+// trial restarts a full cooldown.
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		Now:              func() time.Time { return now },
+	})
+	b.Failure()
+	now = now.Add(time.Second)
+	if st, ok := b.Allow(); !ok || st != HalfOpen {
+		t.Fatalf("Allow after cooldown = (%v, %v)", st, ok)
+	}
+	b.Failure() // trial failed
+	if _, ok := b.Allow(); ok {
+		t.Fatal("admitted right after a failed trial")
+	}
+	now = now.Add(time.Second) // a fresh full cooldown must elapse again
+	if st, ok := b.Allow(); !ok || st != HalfOpen {
+		t.Fatalf("Allow after second cooldown = (%v, %v)", st, ok)
+	}
+}
+
+// TestBreakerOnTransition records the hook sequence across a full
+// closed → open → half-open → closed cycle.
+func TestBreakerOnTransition(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	var got []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2,
+		Cooldown:         time.Second,
+		Now:              func() time.Time { return now },
+		OnTransition: func(from, to BreakerState) {
+			mu.Lock()
+			got = append(got, fmt.Sprintf("%s->%s", from, to))
+			mu.Unlock()
+		},
+	})
+	b.Success() // closed -> closed: no event
+	b.Failure() // below threshold: no event
+	b.Failure() // opens
+	now = now.Add(time.Second)
+	if _, ok := b.Allow(); !ok { // half-open
+		t.Fatal("trial refused after cooldown")
+	}
+	b.Success() // closes
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("transitions %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestEWMAEdgeCases covers the first-sample rule and the bad-alpha
+// fallback, table-driven over observation sequences.
+func TestEWMAEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		alpha   float64
+		observe []float64
+		want    float64
+	}{
+		{name: "no samples", alpha: 0.5, observe: nil, want: 0},
+		{name: "first sample is exact", alpha: 0.5, observe: []float64{42}, want: 42},
+		{name: "second sample blends", alpha: 0.5, observe: []float64{42, 0}, want: 21},
+		{name: "alpha one tracks last", alpha: 1, observe: []float64{10, 20, 30}, want: 30},
+		{name: "zero alpha falls back to 0.3", alpha: 0, observe: []float64{10, 20}, want: 0.3*20 + 0.7*10},
+		{name: "negative alpha falls back to 0.3", alpha: -2, observe: []float64{10, 20}, want: 0.3*20 + 0.7*10},
+		{name: "alpha above one falls back to 0.3", alpha: 1.5, observe: []float64{10, 20}, want: 0.3*20 + 0.7*10},
+		{name: "first sample zero still counts as seen", alpha: 0.5, observe: []float64{0, 10}, want: 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEWMA(tc.alpha)
+			for _, v := range tc.observe {
+				e.Observe(v)
+			}
+			if got := e.Value(); got != tc.want {
+				t.Fatalf("Value() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDefaultClassifyWrapped checks that classification sees through
+// fmt.Errorf %w chains — the form errors actually arrive in from the
+// probing plane (e.g. "landmark X: after 2 attempts: status 503").
+func TestDefaultClassifyWrapped(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"wrapped cancel", fmt.Errorf("round: %w", context.Canceled), false},
+		{"wrapped deadline", fmt.Errorf("probe: %w", context.DeadlineExceeded), true},
+		{"deep wrapped 503", fmt.Errorf("a: %w", fmt.Errorf("b: %w", &HTTPStatusError{Code: 503})), true},
+		{"deep wrapped 404", fmt.Errorf("a: %w", fmt.Errorf("b: %w", &HTTPStatusError{Code: 404})), false},
+		{"wrapped 429", fmt.Errorf("x: %w", &HTTPStatusError{Code: 429}), true},
+		{"wrapped 408", fmt.Errorf("x: %w", &HTTPStatusError{Code: 408}), true},
+		{"wrapped 400", fmt.Errorf("x: %w", &HTTPStatusError{Code: 400}), false},
+		{"wrapped conn refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), true},
+		{"wrapped conn reset", fmt.Errorf("read: %w", syscall.ECONNRESET), true},
+		{"wrapped unexpected EOF", fmt.Errorf("body: %w", io.ErrUnexpectedEOF), true},
+		{"wrapped net timeout", fmt.Errorf("probe: %w", error(timeoutErr{})), true},
+		{"wrapped op error", fmt.Errorf("probe: %w", &net.OpError{Op: "read", Err: errors.New("boom")}), true},
+		{"plain error", errors.New("boom"), false},
+		{"wrapped plain error", fmt.Errorf("ctx: %w", errors.New("boom")), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DefaultClassify(tc.err); got != tc.want {
+				t.Fatalf("DefaultClassify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryStopsOnWrappedTerminal ensures a wrapped terminal error stops
+// the retry loop on the first attempt.
+func TestRetryStopsOnWrappedTerminal(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	calls := 0
+	err, attempts := p.DoCount(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("handler: %w", &HTTPStatusError{Code: 403})
+	})
+	if err == nil || attempts != 1 || calls != 1 {
+		t.Fatalf("err=%v attempts=%d calls=%d, want terminal stop after 1", err, attempts, calls)
+	}
+	var statusErr *HTTPStatusError
+	if !errors.As(err, &statusErr) || statusErr.Code != 403 {
+		t.Fatalf("terminal cause lost: %v", err)
+	}
+}
+
+// TestRetryRetriesWrappedTransient is the counterpart: a wrapped 503 must
+// burn all attempts and surface the attempt count.
+func TestRetryRetriesWrappedTransient(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	calls := 0
+	err, attempts := p.DoCount(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("landmark: %w", &HTTPStatusError{Code: 503})
+	})
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3", attempts, calls)
+	}
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error %v does not mention the attempt count", err)
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the time.Now-based stage timing globally. Counters and
+// direct histogram observations are cheap enough to stay always-on; stage
+// clocks are the only instrumentation that calls into the OS clock, so
+// they carry the switch.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled switches stage timing on or off process-wide.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// On reports whether stage timing is enabled.
+func On() bool { return enabled.Load() }
+
+// Millis converts a duration to fractional milliseconds, the unit every
+// latency histogram in the registry uses.
+func Millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// ObserveSince records the elapsed time since start into h (no-op when
+// timing is disabled).
+func ObserveSince(h *Histogram, start time.Time) {
+	if !enabled.Load() {
+		return
+	}
+	h.Observe(Millis(time.Since(start)))
+}
+
+// StageClock times the consecutive stages of one operation: StartStages
+// stamps the start, each Mark records the lap since the previous mark into
+// a stage histogram, and Done records the total. When timing is disabled
+// StartStages returns nil and every method is a cheap no-op, so
+// instrumented hot paths cost one atomic load plus one branch per stage.
+type StageClock struct {
+	start time.Time
+	last  time.Time
+}
+
+// StartStages opens a stage clock, or nil when timing is disabled.
+func StartStages() *StageClock {
+	if !enabled.Load() {
+		return nil
+	}
+	now := time.Now()
+	return &StageClock{start: now, last: now}
+}
+
+// Mark records the time since the previous mark (or the start) into h.
+func (c *StageClock) Mark(h *Histogram) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	h.Observe(Millis(now.Sub(c.last)))
+	c.last = now
+}
+
+// Done records the total time since StartStages into h.
+func (c *StageClock) Done(h *Histogram) {
+	if c == nil {
+		return
+	}
+	h.Observe(Millis(time.Since(c.start)))
+}

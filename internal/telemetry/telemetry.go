@@ -1,0 +1,290 @@
+// Package telemetry is DiagNet's dependency-free metrics substrate: atomic
+// counters, float gauges, and fixed-bucket latency histograms with
+// percentile snapshots, collected in a process-wide registry.
+//
+// A production RCA system is a monitoring system first: before DiagNet can
+// diagnose the Internet it must be able to diagnose itself — how long a
+// Diagnose call spends in the forward pass vs. the input-gradient
+// attention pass, how often probe rounds degrade, how many events the
+// collector drops. Every layer of the pipeline records into the default
+// registry; diagnetd exposes it as GET /v1/metrics and diagnet-agent via
+// its -metrics listener.
+//
+// The hot-path cost is one atomic add per counter event and one binary
+// search plus two atomic adds per histogram observation; stage timing adds
+// one time.Now per stage boundary and can be switched off entirely with
+// SetEnabled(false) (see the overhead benchmark in internal/core).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. Safe for concurrent
+// use; the zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (in-flight requests,
+// last epoch's loss). Safe for concurrent use; the zero value is ready.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// LatencyBuckets is the default histogram bucket layout for durations in
+// milliseconds: a 1-2.5-5 ladder from 1 µs to 60 s (24 buckets plus
+// overflow), wide enough for a sub-millisecond Diagnose stage and a
+// 60-second probing round alike.
+var LatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 30000, 60000,
+}
+
+// SizeBuckets is a bucket layout for counts (batch sizes, landmark
+// counts): powers of two from 1 to 4096.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper
+// limits in ascending order; observations above the last bound land in an
+// overflow bucket. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given bucket bounds (nil means
+// LatencyBuckets). Bounds must be ascending; they are copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe folds one value in.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a consistent-enough point-in-time view of a
+// histogram: totals plus interpolated percentiles.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot computes the current totals and percentiles. Percentiles are
+// linearly interpolated inside their bucket; values in the overflow bucket
+// report the last bound (the histogram cannot resolve beyond it).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, Sum: math.Float64frombits(h.sum.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P90 = h.quantile(counts, total, 0.90)
+	s.P99 = h.quantile(counts, total, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile from bucket counts.
+func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // overflow: saturate at the last bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry holds named metrics. Names are dotted lowercase paths
+// ("core.diagnose.stage.normalize_ms"); getters create on first use and
+// return the same instance afterwards, so instrumentation sites can
+// resolve their metrics once at init and pay only atomic ops per event.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide registry every pipeline layer records into.
+var std = New()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; bounds apply
+// only on first creation (nil means LatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a JSON-marshalable point-in-time view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if math.Abs(s.Mean-0.505) > 1e-9 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	// Interpolation inside [0,1]: p50 ≈ 0.5, p99 ≈ 0.99.
+	if math.Abs(s.P50-0.5) > 0.02 || math.Abs(s.P99-0.99) > 0.02 {
+		t.Fatalf("p50=%v p99=%v", s.P50, s.P99)
+	}
+}
+
+func TestHistogramAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(35) // third bucket
+	}
+	s := h.Snapshot()
+	if s.P50 > 10 {
+		t.Fatalf("p50 %v should be inside the first bucket", s.P50)
+	}
+	if s.P99 <= 20 || s.P99 > 40 {
+		t.Fatalf("p99 %v should be inside (20,40]", s.P99)
+	}
+}
+
+func TestHistogramOverflowSaturates(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if s.P50 != 2 || s.P99 != 2 {
+		t.Fatalf("overflow quantiles should saturate at the last bound: %+v", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on unsorted bounds")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not memoized")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge not memoized")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", []float64{1}) {
+		t.Fatal("histogram not memoized")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("reqs").Add(3)
+	r.Gauge("inflight").Set(2)
+	r.Histogram("lat_ms", nil).Observe(12)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["reqs"] != 3 || got.Gauges["inflight"] != 2 {
+		t.Fatalf("roundtrip %+v", got)
+	}
+	if got.Histograms["lat_ms"].Count != 1 {
+		t.Fatalf("histogram roundtrip %+v", got.Histograms["lat_ms"])
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 120))
+				// Interleave registry lookups with observations.
+				r.Counter("c").Value()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Fatalf("counter %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Fatalf("gauge %v, want %d", g.Value(), workers*each)
+	}
+	if got := h.Snapshot().Count; got != workers*each {
+		t.Fatalf("histogram count %d, want %d", got, workers*each)
+	}
+}
+
+func TestStageClockDisabled(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if StartStages() != nil {
+		t.Fatal("disabled clock should be nil")
+	}
+	h := NewHistogram(nil)
+	var c *StageClock
+	c.Mark(h) // nil receiver must be a no-op
+	c.Done(h)
+	ObserveSince(h, time.Now())
+	if h.Count() != 0 {
+		t.Fatal("disabled timing must not observe")
+	}
+}
+
+func TestStageClockMarksAndTotal(t *testing.T) {
+	r := New()
+	a := r.Histogram("stage.a", nil)
+	b := r.Histogram("stage.b", nil)
+	total := r.Histogram("total", nil)
+	c := StartStages()
+	time.Sleep(time.Millisecond)
+	c.Mark(a)
+	time.Sleep(time.Millisecond)
+	c.Mark(b)
+	c.Done(total)
+	if a.Count() != 1 || b.Count() != 1 || total.Count() != 1 {
+		t.Fatal("missing observations")
+	}
+	sa, sb, st := a.Snapshot(), b.Snapshot(), total.Snapshot()
+	if st.Sum < sa.Sum || st.Sum < sb.Sum {
+		t.Fatalf("total %v should cover each stage (%v, %v)", st.Sum, sa.Sum, sb.Sum)
+	}
+	if sa.Sum <= 0 || sb.Sum <= 0 {
+		t.Fatalf("stage laps must be positive: %v %v", sa.Sum, sb.Sum)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkStageClock(b *testing.B) {
+	h := NewHistogram(nil)
+	total := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := StartStages()
+		c.Mark(h)
+		c.Done(total)
+	}
+}
