@@ -4,22 +4,26 @@
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x ./... | go run ./cmd/bench2json > bench.json
+//	go test -bench . -benchtime 1x ./... | go run ./cmd/bench2json [-only regexp] > bench.json
 //
 // It reads the benchmark stream on stdin: context lines (goos, goarch,
 // pkg, cpu) annotate every following result line, and each result line
 // ("BenchmarkName-8  100  123 ns/op  45 B/op  6 allocs/op") becomes one
 // record with all its metric pairs. Non-benchmark lines are ignored, so
-// mixed `go test` output is fine.
+// mixed `go test` output is fine. -only keeps only results whose name
+// matches the regexp, so one bench run can be split into focused artifacts
+// (e.g. -only '^BenchmarkServe' for BENCH_serving.json).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -41,7 +45,16 @@ type Report struct {
 }
 
 func main() {
-	report, err := parse(os.Stdin)
+	only := flag.String("only", "", "keep only results whose name matches this regexp")
+	flag.Parse()
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		if filter, err = regexp.Compile(*only); err != nil {
+			log.Fatalf("bench2json: -only: %v", err)
+		}
+	}
+	report, err := parse(os.Stdin, filter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,8 +65,9 @@ func main() {
 	}
 }
 
-// parse consumes a `go test -bench` stream.
-func parse(r io.Reader) (*Report, error) {
+// parse consumes a `go test -bench` stream, keeping only names matched by
+// filter (nil keeps everything).
+func parse(r io.Reader, filter *regexp.Regexp) (*Report, error) {
 	report := &Report{Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(r)
@@ -72,6 +86,9 @@ func parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "Benchmark"):
 			res, ok := parseResult(line)
 			if !ok {
+				continue
+			}
+			if filter != nil && !filter.MatchString(res.Name) {
 				continue
 			}
 			res.Package = pkg

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ ok  	diagnet/internal/telemetry	2.1s
 `
 
 func TestParse(t *testing.T) {
-	report, err := parse(strings.NewReader(sampleStream))
+	report, err := parse(strings.NewReader(sampleStream), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,21 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseEmpty(t *testing.T) {
-	report, err := parse(strings.NewReader("no benchmarks here\n"))
+	report, err := parse(strings.NewReader("no benchmarks here\n"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(report.Results) != 0 || report.Results == nil {
 		t.Fatalf("want empty non-nil results, got %+v", report.Results)
+	}
+}
+
+func TestParseOnlyFilter(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleStream), regexp.MustCompile(`^BenchmarkCounter`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 || report.Results[0].Name != "BenchmarkCounterInc-8" {
+		t.Fatalf("filtered results %+v", report.Results)
 	}
 }

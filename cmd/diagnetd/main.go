@@ -1,18 +1,31 @@
 // Command diagnetd serves the root-cause analysis service (Fig. 1): it
-// loads a general model (plus optional per-service specialized models)
-// trained by diagnet-train and answers diagnosis requests over HTTP.
+// loads one or more model versions trained by diagnet-train and answers
+// diagnosis requests over HTTP through the batched serving engine.
 //
 // Usage:
 //
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
+//	         [-model-dir models/ [-serve-version v2]]
+//	         [-batch-max 32] [-batch-wait 2ms] [-queue-depth 256] [-workers 0]
 //	         [-pprof 127.0.0.1:6060]
 //
 // API:
 //
 //	POST /v1/diagnose  {"service_id":0,"landmarks":[0,1,...],"features":[...]}
 //	GET  /v1/model
-//	GET  /v1/metrics   per-route latency percentiles + per-stage Diagnose timings
+//	GET  /v1/models    registered model versions and the active one
+//	POST /v1/models    {"action":"load|promote|rollback", ...} rollout admin
+//	GET  /v1/metrics   per-route latency percentiles + serving queue/batch/shed metrics
 //	GET  /healthz
+//
+// Model lifecycle: with -model-dir, every *.gob in the directory is
+// registered as a version named after its file, and the lexically last
+// (or -serve-version) is promoted at boot — date-stamped file names
+// therefore serve the newest model. Without -model-dir, the single
+// -model/-bundle file becomes version "boot". New versions can be loaded
+// and promoted at runtime via POST /v1/models; a promotion warms the
+// model up off the serving path and then swaps it atomically under live
+// traffic, and "rollback" returns to the previously active version.
 //
 // -pprof serves net/http/pprof on a separate listener (keep it on a
 // loopback or otherwise private address; it is intentionally not exposed
@@ -34,6 +47,7 @@ import (
 
 	"diagnet"
 	"diagnet/internal/analysis"
+	"diagnet/internal/serving"
 )
 
 func main() {
@@ -41,32 +55,56 @@ func main() {
 	modelPath := flag.String("model", "model.gob", "general model file")
 	bundlePath := flag.String("bundle", "", "bundle file (general + specialized); overrides -model")
 	specialized := flag.String("specialized", "", "comma-separated specialized model files")
+	modelDir := flag.String("model-dir", "", "directory of *.gob model versions; overrides -model/-bundle and enables POST /v1/models load")
+	serveVersion := flag.String("serve-version", "", "version to promote at boot (default: lexically last in -model-dir)")
+	batchMax := flag.Int("batch-max", 32, "micro-batch size cap for fused inference")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max wait to fill a micro-batch (adapts down under light load)")
+	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue; overflow is shed with 429")
+	workers := flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
-	var srv *analysis.Server
-	if *bundlePath != "" {
-		f, err := os.Open(*bundlePath)
+	engine := serving.New(serving.Config{
+		BatchMax:   *batchMax,
+		BatchWait:  *batchWait,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+	})
+	reg := engine.Registry()
+
+	boot := "boot"
+	switch {
+	case *modelDir != "":
+		versions, err := reg.LoadDir(*modelDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := diagnet.LoadBundle(f)
-		f.Close()
-		if err != nil {
+		if len(versions) == 0 {
+			log.Fatalf("no *.gob model versions in %s", *modelDir)
+		}
+		boot = versions[len(versions)-1]
+		if *serveVersion != "" {
+			boot = *serveVersion
+		}
+		log.Printf("registered %d model versions from %s", len(versions), *modelDir)
+	case *bundlePath != "":
+		if err := reg.LoadFile(boot, *bundlePath); err != nil {
 			log.Fatal(err)
 		}
-		srv = analysis.NewServer(b.General)
-		for id, m := range b.Specialized {
-			srv.SetSpecialized(id, m)
-		}
-		log.Printf("loaded bundle with %d specialized models", len(b.Specialized))
-	} else {
-		general, err := loadModel(*modelPath)
-		if err != nil {
+	default:
+		if err := reg.LoadFile(boot, *modelPath); err != nil {
 			log.Fatal(err)
 		}
-		srv = analysis.NewServer(general)
 	}
+	if err := reg.Promote(boot); err != nil {
+		log.Fatal(err)
+	}
+	cfg := engine.Config()
+	log.Printf("serving model version %q (batch-max %d, batch-wait %s, queue %d, workers %d)",
+		boot, cfg.BatchMax, cfg.BatchWait, cfg.QueueDepth, cfg.Workers)
+
+	srv := analysis.NewServerFromEngine(engine)
+	srv.ModelDir = *modelDir
 	if *specialized != "" {
 		for _, path := range strings.Split(*specialized, ",") {
 			m, err := loadModel(strings.TrimSpace(path))
@@ -76,7 +114,9 @@ func main() {
 			if m.ServiceID < 0 {
 				log.Fatalf("%s is not a specialized model", path)
 			}
-			srv.SetSpecialized(m.ServiceID, m)
+			if err := srv.SetSpecialized(m.ServiceID, m); err != nil {
+				log.Fatal(err)
+			}
 			log.Printf("loaded specialized model for service %d from %s", m.ServiceID, path)
 		}
 	}
@@ -97,8 +137,9 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight diagnoses before
-	// exiting (clients retry transient failures, but a clean drain avoids
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,
+	// then drain the serving engine so queued and in-flight diagnoses
+	// finish (clients retry transient failures, but a clean drain avoids
 	// failing them at all).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -116,6 +157,9 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("forced shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("engine drain: %v", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

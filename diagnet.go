@@ -47,6 +47,7 @@ import (
 	"diagnet/internal/probe"
 	"diagnet/internal/resilience"
 	"diagnet/internal/services"
+	"diagnet/internal/serving"
 	"diagnet/internal/telemetry"
 	"diagnet/internal/trace"
 )
@@ -183,6 +184,33 @@ func NewAnalysisServer(general *Model) *AnalysisServer { return analysis.NewServ
 
 // NewAnalysisClient returns a client for an analysis service.
 func NewAnalysisClient(baseURL string) *AnalysisClient { return analysis.NewClient(baseURL) }
+
+// Serving-engine types (DESIGN.md §11): adaptive micro-batching, the
+// versioned model registry with atomic hot swap, and admission control.
+type (
+	// ServingEngine coalesces concurrent diagnoses into fused micro-batches.
+	ServingEngine = serving.Engine
+	// ServingConfig tunes batching, queueing and the worker pool.
+	ServingConfig = serving.Config
+	// ServingRequest is one diagnosis submission to the engine.
+	ServingRequest = serving.Request
+	// ServingResult is a diagnosis plus its model-version provenance.
+	ServingResult = serving.Result
+	// ModelRegistry holds named model versions and the active snapshot.
+	ModelRegistry = serving.Registry
+	// ModelVersionInfo describes one registered model version.
+	ModelVersionInfo = serving.VersionInfo
+)
+
+// NewServingEngine starts a serving engine; promote a version through its
+// Registry before submitting.
+func NewServingEngine(cfg ServingConfig) *ServingEngine { return serving.New(cfg) }
+
+// NewAnalysisServerFromEngine wraps an externally configured serving
+// engine as an HTTP diagnosis service.
+func NewAnalysisServerFromEngine(e *ServingEngine) *AnalysisServer {
+	return analysis.NewServerFromEngine(e)
+}
 
 // Client-agent types (the client box of Fig. 1).
 type (

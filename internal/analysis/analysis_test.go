@@ -55,7 +55,12 @@ func newService(t *testing.T) (*Server, *httptest.Server) {
 	m, _ := fixture(t)
 	s := NewServer(m)
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
 	return s, ts
 }
 

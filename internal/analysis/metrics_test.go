@@ -92,16 +92,27 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("latency percentiles not ordered: p50=%v p90=%v p99=%v", lat.P50, lat.P90, lat.P99)
 	}
 
-	// Per-stage Diagnose timings from internal/core. The batch contributes
-	// 2 more Diagnose calls on top of the n HTTP singles.
-	stages := []string{
+	// Per-stage Diagnose timings from internal/core. Requests now run
+	// through the serving engine's fused batched passes: normalize and
+	// total are marked once per micro-batch (at least one pass must have
+	// happened), while the per-row stages still mark every sample — the
+	// batch endpoint contributes 2 more samples on top of the n singles.
+	perPass := []string{
 		"core.diagnose.stage.normalize_ms",
+		"core.diagnose.total_ms",
+	}
+	for _, name := range perPass {
+		d := after.Histograms[name].Count - before.Histograms[name].Count
+		if d < 1 {
+			t.Fatalf("stage %s observed %d times, want >= 1", name, d)
+		}
+	}
+	perSample := []string{
 		"core.diagnose.stage.forward_gradient_ms",
 		"core.diagnose.stage.weighting_ms",
 		"core.diagnose.stage.ensemble_ms",
-		"core.diagnose.total_ms",
 	}
-	for _, name := range stages {
+	for _, name := range perSample {
 		d := after.Histograms[name].Count - before.Histograms[name].Count
 		if d < n+2 {
 			t.Fatalf("stage %s observed %d times, want >= %d", name, d, n+2)

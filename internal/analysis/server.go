@@ -4,20 +4,30 @@
 // vectors plus the landmark set they probed; the service answers with the
 // coarse family and the ranked root-cause list, using the service's
 // specialized model when one exists.
+//
+// Request execution is delegated to the serving engine
+// (internal/serving): handlers validate, then submit into its batched,
+// admission-controlled pipeline. Model lifecycle — versions, hot swap,
+// rollback — is driven through the engine's registry and exposed on the
+// /v1/models admin surface.
 package analysis
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
 
 	"diagnet/internal/core"
 	"diagnet/internal/drift"
 	"diagnet/internal/probe"
+	"diagnet/internal/serving"
 )
 
 // maxRequestBytes bounds a request body (8 MiB — a full 1024-request
@@ -88,38 +98,81 @@ type DiagnoseResponse struct {
 	UnknownWeight float64   `json:"unknown_weight"`
 	Causes        []Cause   `json:"causes"`
 	ModelService  int       `json:"model_service"` // -1 = general model
+	// ModelVersion names the registry version that served the request;
+	// every response is attributable to exactly one version even during a
+	// hot swap.
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
 // ModelInfo describes the loaded models.
 type ModelInfo struct {
-	KnownRegions    []int `json:"known_regions"`
-	TotalParams     int   `json:"total_params"`
-	TrainableParams int   `json:"trainable_params"`
-	Specialized     []int `json:"specialized_services"`
+	KnownRegions    []int  `json:"known_regions"`
+	TotalParams     int    `json:"total_params"`
+	TrainableParams int    `json:"trainable_params"`
+	Specialized     []int  `json:"specialized_services"`
+	ActiveVersion   string `json:"active_version,omitempty"`
 }
 
-// Server is the analysis service. Register specialized models with
-// SetSpecialized; concurrent diagnoses are serialized per model because
-// the network's backward pass mutates layer caches.
+// Server is the analysis service. Requests flow through the serving
+// engine's bounded queue, micro-batcher and worker pool; models live in
+// the engine's versioned registry and are hot-swapped atomically (so
+// SetSpecialized during live traffic is race-free, unlike the old
+// per-server model map).
 //
 // The server feeds every coarse prediction into a drift detector
 // (§II-A: networks and services evolve); once EnableDrift has frozen a
 // reference window, /v1/drift reports whether the live prediction
 // distribution still matches it.
 type Server struct {
-	mu          sync.Mutex
-	general     *core.Model
-	specialized map[int]*core.Model
-	drift       *drift.Detector
+	engine *serving.Engine
+
+	// ModelDir, when non-empty, is the only directory the POST /v1/models
+	// "load" action may read model files from. Empty disables loading over
+	// HTTP (versions can still be registered in-process).
+	ModelDir string
+
+	mu    sync.Mutex // guards drift
+	drift *drift.Detector
 }
 
-// NewServer wraps a general model.
+// NewServer wraps a general model in a default-configured serving engine,
+// registered and promoted as version "boot". Call Close to drain it.
 func NewServer(general *core.Model) *Server {
-	return &Server{
-		general:     general,
-		specialized: map[int]*core.Model{},
-		drift:       drift.NewDetector(int(probe.NumFamilies), drift.Config{}),
+	return NewServerWithConfig(general, serving.Config{})
+}
+
+// NewServerWithConfig is NewServer with explicit engine tuning.
+func NewServerWithConfig(general *core.Model, cfg serving.Config) *Server {
+	s := NewServerFromEngine(serving.New(cfg))
+	if general != nil {
+		if err := s.engine.Registry().AddModel("boot", general); err != nil {
+			panic(err) // fresh registry: only a nil model can fail, and that's a caller bug
+		}
+		if err := s.engine.Registry().Promote("boot"); err != nil {
+			panic(fmt.Sprintf("analysis: boot model failed warm-up: %v", err))
+		}
 	}
+	return s
+}
+
+// NewServerFromEngine wraps an existing engine (whose registry the caller
+// has populated, e.g. from -model-dir). The server takes over Close.
+func NewServerFromEngine(e *serving.Engine) *Server {
+	return &Server{
+		engine: e,
+		drift:  drift.NewDetector(int(probe.NumFamilies), drift.Config{}),
+	}
+}
+
+// Engine exposes the serving engine (registry access, stats).
+func (s *Server) Engine() *serving.Engine { return s.engine }
+
+// Close drains the serving engine: queued and in-flight diagnoses finish,
+// new submissions get ErrClosed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), serving.DrainTimeout)
+	defer cancel()
+	return s.engine.Close(ctx)
 }
 
 // EnableDrift freezes the drift reference: diagnoses so far form the
@@ -137,11 +190,11 @@ func (s *Server) DriftStatus() drift.Status {
 	return s.drift.Status()
 }
 
-// SetSpecialized registers a per-service model.
-func (s *Server) SetSpecialized(serviceID int, m *core.Model) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.specialized[serviceID] = m
+// SetSpecialized registers a per-service model in the active version via
+// the registry's copy-on-write snapshot swap — safe under concurrent
+// Diagnose traffic.
+func (s *Server) SetSpecialized(serviceID int, m *core.Model) error {
+	return s.engine.Registry().SetSpecialized(serviceID, m)
 }
 
 // writeJSON writes v as a JSON response.
@@ -155,6 +208,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	POST /v1/diagnose       → DiagnoseResponse
 //	POST /v1/diagnose-batch → BatchResponse
 //	GET  /v1/model          → ModelInfo
+//	GET  /v1/models         → model registry listing (admin)
+//	POST /v1/models         → load / promote / rollback (admin)
 //	GET  /v1/metrics        → telemetry.Snapshot
 //	GET  /healthz           → 204
 //
@@ -165,6 +220,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/diagnose", instrument("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/v1/diagnose-batch", instrument("diagnose_batch", s.handleBatch))
 	mux.HandleFunc("/v1/model", instrument("model", s.handleModel))
+	mux.HandleFunc("/v1/models", instrument("models", s.handleModels))
 	mux.HandleFunc("/v1/drift", instrument("drift", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.DriftStatus())
 	}))
@@ -209,14 +265,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Responses: make([]*DiagnoseResponse, len(req.Requests)),
 		Errors:    make([]string, len(req.Requests)),
 	}
+	// Fan the batch out across the engine's workers: every sample becomes
+	// one submission (blocking admission, so a big batch squeezes through
+	// a small queue), the micro-batcher regroups them into fused passes,
+	// and the indexed writes keep output order stable.
+	var wg sync.WaitGroup
 	for i := range req.Requests {
-		out, err := s.Diagnose(&req.Requests[i])
-		if err != nil {
-			resp.Errors[i] = err.Error()
-			continue
-		}
-		resp.Responses[i] = out
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := s.diagnose(r.Context(), &req.Requests[i], true)
+			if err != nil {
+				resp.Errors[i] = err.Error()
+				return
+			}
+			resp.Responses[i] = out
+		}(i)
 	}
+	wg.Wait()
 	writeJSON(w, resp)
 }
 
@@ -229,16 +295,42 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.Diagnose(&req)
-	if err != nil {
+	resp, err := s.diagnose(r.Context(), &req, false)
+	switch {
+	case err == nil:
+		writeJSON(w, resp)
+	case errors.Is(err, serving.ErrQueueFull):
+		// Admission control: tell the client when to come back instead of
+		// letting the queue convoy collapse tail latency for everyone.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.engine.Config()))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, serving.ErrClosed):
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The client's deadline expired while queued; 503 lets a proxy
+		// distinguish "shed" from "bad request".
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
 	}
-	writeJSON(w, resp)
 }
 
-// Diagnose runs the pipeline on a request (also usable in-process).
+// retryAfterSeconds suggests a backoff: one full batch wait rounded up to
+// the next whole second (Retry-After has 1s resolution).
+func retryAfterSeconds(cfg serving.Config) string {
+	secs := int(cfg.BatchWait.Seconds()) + 1
+	return strconv.Itoa(secs)
+}
+
+// Diagnose runs the pipeline on a request (also usable in-process). It
+// blocks for queue space rather than shedding; HTTP handlers instead pass
+// their request context and shed on overflow.
 func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
+	return s.diagnose(context.Background(), req, true)
+}
+
+// diagnose validates, submits to the serving engine and shapes the reply.
+func (s *Server) diagnose(ctx context.Context, req *DiagnoseRequest, blocking bool) (*DiagnoseResponse, error) {
 	if len(req.Landmarks) == 0 {
 		return nil, fmt.Errorf("analysis: no landmarks in request")
 	}
@@ -247,13 +339,14 @@ func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
 		return nil, fmt.Errorf("analysis: %d features for %d landmarks (want %d)",
 			len(req.Features), len(req.Landmarks), layout.NumFeatures())
 	}
-	s.mu.Lock()
-	fullLayout := s.general.FullLayout
-	s.mu.Unlock()
+	bundle, _, err := s.engine.Registry().ActiveBundle()
+	if err != nil {
+		return nil, err
+	}
 	// Regions outside the model's deployment layout are unrepresentable in
 	// the ensemble's cause space — reject them as a client error instead of
 	// panicking deep inside the re-indexing (found by FuzzHandleDiagnose).
-	if err := layout.Validate(fullLayout); err != nil {
+	if err := layout.Validate(bundle.General.FullLayout); err != nil {
 		return nil, fmt.Errorf("analysis: bad landmark list: %w", err)
 	}
 	topK := req.TopK
@@ -264,14 +357,19 @@ func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
 		topK = layout.NumFeatures()
 	}
 
-	s.mu.Lock()
-	model := s.general
-	modelService := -1
-	if m, ok := s.specialized[req.ServiceID]; ok {
-		model = m
-		modelService = req.ServiceID
+	sub := &serving.Request{ServiceID: req.ServiceID, Layout: layout, Features: req.Features}
+	var res *serving.Result
+	if blocking {
+		res, err = s.engine.SubmitWait(ctx, sub)
+	} else {
+		res, err = s.engine.Submit(ctx, sub)
 	}
-	diag := model.Diagnose(req.Features, layout)
+	if err != nil {
+		return nil, err
+	}
+	diag := res.Diagnosis
+
+	s.mu.Lock()
 	s.drift.Observe(diag.Coarse)
 	s.mu.Unlock()
 
@@ -279,7 +377,8 @@ func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
 		Family:        diag.Family.String(),
 		Coarse:        diag.Coarse,
 		UnknownWeight: diag.UnknownWeight,
-		ModelService:  modelService,
+		ModelService:  res.ModelService,
+		ModelVersion:  res.Version,
 	}
 	for _, j := range diag.Ranked()[:topK] {
 		resp.Causes = append(resp.Causes, Cause{
@@ -293,16 +392,21 @@ func (s *Server) Diagnose(req *DiagnoseRequest) (*DiagnoseResponse, error) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	total, trainable := s.general.ParamCount()
+	bundle, version, err := s.engine.Registry().ActiveBundle()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	total, trainable := bundle.General.ParamCount()
 	info := ModelInfo{
-		KnownRegions:    append([]int(nil), s.general.TrainLayout.Landmarks...),
+		KnownRegions:    append([]int(nil), bundle.General.TrainLayout.Landmarks...),
 		TotalParams:     total,
 		TrainableParams: trainable,
+		ActiveVersion:   version,
 	}
-	for id := range s.specialized {
+	for id := range bundle.Specialized {
 		info.Specialized = append(info.Specialized, id)
 	}
-	s.mu.Unlock()
+	sort.Ints(info.Specialized)
 	writeJSON(w, info)
 }

@@ -9,9 +9,10 @@ import (
 
 // DiagnoseBatch diagnoses many samples in parallel. A Model is not safe
 // for concurrent Diagnose calls (the backward pass reuses layer caches),
-// so the batch API clones the network once per worker and shards the
-// samples; results come back in input order regardless of scheduling.
-// workers ≤ 0 selects GOMAXPROCS.
+// so each worker runs its own Session (a private network clone plus
+// scratch buffers) and shards the samples in contiguous chunks, each
+// diagnosed with one fused batched pass; results come back in input order
+// regardless of scheduling. workers ≤ 0 selects GOMAXPROCS.
 func (m *Model) DiagnoseBatch(features [][]float64, layout probe.Layout, workers int) []*Diagnosis {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -20,40 +21,29 @@ func (m *Model) DiagnoseBatch(features [][]float64, layout probe.Layout, workers
 		workers = len(features)
 	}
 	out := make([]*Diagnosis, len(features))
+	if len(features) == 0 {
+		return out
+	}
 	if workers <= 1 {
-		for i, x := range features {
-			out[i] = m.Diagnose(x, layout)
-		}
+		copy(out, m.NewSession().DiagnoseBatch(features, layout))
 		return out
 	}
 
-	next := make(chan int)
+	// Contiguous chunks keep each worker's fused pass as large as possible
+	// (one forward/backward per chunk instead of per sample).
+	chunk := (len(features) + workers - 1) / workers
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for lo := 0; lo < len(features); lo += chunk {
+		hi := lo + chunk
+		if hi > len(features) {
+			hi = len(features)
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			// Clone the mutable network; the normalizer, forest and
-			// layouts are read-only and shared.
-			local := &Model{
-				Cfg:         m.Cfg,
-				TrainLayout: m.TrainLayout,
-				Known:       m.Known,
-				Norm:        m.Norm,
-				Net:         m.Net.Clone(),
-				Aux:         m.Aux,
-				FullLayout:  m.FullLayout,
-				ServiceID:   m.ServiceID,
-			}
-			for i := range next {
-				out[i] = local.Diagnose(features[i], layout)
-			}
-		}()
+			copy(out[lo:hi], m.NewSession().DiagnoseBatch(features[lo:hi], layout))
+		}(lo, hi)
 	}
-	for i := range features {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return out
 }

@@ -56,6 +56,37 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 	// Steps ①–④: coarse prediction; step ⑤: one backpropagation pass of
 	// the ideal-label loss L* down to the inputs (§III-E).
 	grad, coarse := m.Net.InputGradient(normed, -1)
+	d := m.postprocess(grad, coarse, features, layout, nil, clock)
+	clock.Done(mDiagnoseTotal)
+	return d
+}
+
+// scratch holds reusable per-worker buffers for the pipeline stages after
+// the network passes. A nil *scratch means "allocate fresh" — the
+// single-shot Diagnose path — while serving Sessions keep one scratch per
+// worker so the hot path stops allocating intermediates.
+type scratch struct {
+	normed  []float64 // normalized input (batch: b×n backing array)
+	fullVec []float64 // aux forest full-layout projection
+	scores  []float64 // aux forest full-layout cause scores
+	aux     []float64 // aux forest scores on the inference layout
+	targets []int     // per-row ideal labels for the batched pass
+}
+
+// grow returns buf resized to n, reusing capacity when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// postprocess turns one sample's input gradient and coarse distribution
+// into a Diagnosis: Eq. 1 attention, Algorithm 1 weighting and §III-F
+// ensemble averaging. grad and coarse are consumed (the attention and
+// output slices are freshly allocated — a Diagnosis outlives any scratch);
+// sc may be nil, clock may be nil.
+func (m *Model) postprocess(grad, coarse, features []float64, layout probe.Layout, sc *scratch, clock *telemetry.StageClock) *Diagnosis {
 	fam := probe.Family(nn.Argmax(coarse))
 
 	// Equation 1: γ̂_j = |∇_j| / Σ|∇_k|.
@@ -88,13 +119,23 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 			wU += tuned[j]
 		}
 	}
-	aux := m.auxScores(features, layout)
+	var fullVec, scores, aux []float64
+	if sc != nil {
+		sc.fullVec = grow(sc.fullVec, m.FullLayout.NumFeatures())
+		sc.scores = grow(sc.scores, m.Aux.Causes())
+		sc.aux = grow(sc.aux, layout.NumFeatures())
+		fullVec, scores, aux = sc.fullVec, sc.scores, sc.aux
+	} else {
+		fullVec = make([]float64, m.FullLayout.NumFeatures())
+		scores = make([]float64, m.Aux.Causes())
+		aux = make([]float64, layout.NumFeatures())
+	}
+	m.auxScoresInto(features, layout, fullVec, scores, aux)
 	final := make([]float64, len(tuned))
 	for j := range final {
 		final[j] = wU*tuned[j] + (1-wU)*aux[j]
 	}
 	clock.Mark(mStageEnsemble)
-	clock.Done(mDiagnoseTotal)
 
 	return &Diagnosis{
 		Layout:        layout,
@@ -112,36 +153,32 @@ func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 // every other feature the penalty (1−w)/(1−s).
 func scoreWeighting(gamma, coarse []float64, layout probe.Layout, fam probe.Family) []float64 {
 	tuned := append([]float64(nil), gamma...)
-	// p ← indices of features with the same family as φ.
-	var p []int
+	// p ← features with the same family as φ. Membership is recomputed
+	// from the layout on the second pass instead of materializing p — the
+	// old index-set map was the hot path's largest allocation.
+	np := 0
+	var s float64 // s ← Σ_{j∈p} γ̂_j
 	for j := range gamma {
 		if layout.FamilyOf(j) == fam {
-			p = append(p, j)
+			np++
+			s += gamma[j]
 		}
 	}
-	if len(p) == 0 {
+	if np == 0 {
 		// φ is the nominal family: no feature belongs to it.
 		return tuned
 	}
-	// w ← y_φ / Σ y; s ← Σ_{j∈p} γ̂_j.
+	// w ← y_φ / Σ y.
 	var ysum float64
 	for _, y := range coarse {
 		ysum += y
 	}
 	w := coarse[fam] / ysum
-	var s float64
-	for _, j := range p {
-		s += gamma[j]
-	}
 	if s == 0 || s == 1 {
 		return tuned // extreme cases: keep γ̂ unchanged
 	}
-	inP := make(map[int]bool, len(p))
-	for _, j := range p {
-		inP[j] = true
-	}
 	for j := range tuned {
-		if inP[j] {
+		if layout.FamilyOf(j) == fam {
 			tuned[j] = gamma[j] * w / s
 		} else {
 			tuned[j] = gamma[j] * (1 - w) / (1 - s)
@@ -151,12 +188,24 @@ func scoreWeighting(gamma, coarse []float64, layout probe.Layout, fam probe.Fami
 }
 
 // auxScores evaluates the auxiliary forest on the sample and re-indexes
-// its full-layout scores onto the inference layout. Landmarks absent from
-// the inference layout are zero-filled, mirroring the extensible-forest
-// missing-value policy.
+// its full-layout scores onto the inference layout.
 func (m *Model) auxScores(features []float64, layout probe.Layout) []float64 {
+	fullVec := make([]float64, m.FullLayout.NumFeatures())
+	scores := make([]float64, m.Aux.Causes())
+	out := make([]float64, layout.NumFeatures())
+	return m.auxScoresInto(features, layout, fullVec, scores, out)
+}
+
+// auxScoresInto is auxScores writing through caller-provided buffers:
+// fullVec (full-layout projection scratch), scores (full-layout cause
+// scores) and out (per-feature scores on the inference layout).
+// Landmarks absent from the inference layout are zero-filled, mirroring
+// the extensible-forest missing-value policy.
+func (m *Model) auxScoresInto(features []float64, layout probe.Layout, fullVec, scores, out []float64) []float64 {
 	full := m.FullLayout
-	fullVec := make([]float64, full.NumFeatures())
+	for i := range fullVec {
+		fullVec[i] = 0
+	}
 	for pos, region := range full.Landmarks {
 		if lp := layout.LandmarkPos(region); lp >= 0 {
 			for mt := 0; mt < int(probe.NumMetrics); mt++ {
@@ -167,9 +216,8 @@ func (m *Model) auxScores(features []float64, layout probe.Layout) []float64 {
 	for li := 0; li < probe.NumLocal; li++ {
 		fullVec[full.LocalIndex(li)] = features[layout.LocalIndex(li)]
 	}
-	scores := m.Aux.Scores(fullVec)
+	m.Aux.ScoresInto(fullVec, scores)
 
-	out := make([]float64, layout.NumFeatures())
 	for j := range out {
 		if layout.IsLocal(j) {
 			out[j] = scores[full.LocalIndex(j-layout.NumLandmarks()*int(probe.NumMetrics))]

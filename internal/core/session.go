@@ -1,0 +1,86 @@
+package core
+
+import (
+	"diagnet/internal/mat"
+	"diagnet/internal/nn"
+	"diagnet/internal/probe"
+	"diagnet/internal/telemetry"
+)
+
+// Session is a per-worker inference context: a private clone of the
+// model's mutable network plus reusable scratch buffers. A Model is not
+// safe for concurrent Diagnose calls (the backward pass reuses layer
+// caches), so every serving worker holds its own Session; the normalizer,
+// auxiliary forest and layouts are read-only and shared with the parent
+// Model. A Session itself must not be used concurrently.
+type Session struct {
+	m   *Model
+	net *nn.Network
+	sc  scratch
+}
+
+// NewSession clones the model's network into a private inference session.
+func (m *Model) NewSession() *Session {
+	return &Session{m: m, net: m.Net.Clone()}
+}
+
+// Model returns the read-only model this session serves.
+func (s *Session) Model() *Model { return s.m }
+
+// Diagnose is Model.Diagnose against the session's private network and
+// scratch buffers, safe to call concurrently with other sessions of the
+// same model.
+func (s *Session) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
+	return s.DiagnoseBatch([][]float64{features}, layout)[0]
+}
+
+// DiagnoseBatch diagnoses b samples that share one layout with a single
+// fused forward/backward pass over the b×n batch: the network's weight
+// matrices are streamed from memory once per micro-batch instead of once
+// per sample, which is where the serving engine's batching throughput
+// comes from. Results are in input order and each Diagnosis is freshly
+// allocated (only intermediates live in the session's scratch).
+func (s *Session) DiagnoseBatch(features [][]float64, layout probe.Layout) []*Diagnosis {
+	b, n := len(features), layout.NumFeatures()
+	if b == 0 {
+		return nil
+	}
+	m := s.m
+	for _, f := range features {
+		if len(f) != n {
+			panic("core: feature vector does not match layout")
+		}
+	}
+	mDiagnoses.Add(int64(b))
+	clock := telemetry.StartStages()
+
+	s.sc.normed = grow(s.sc.normed, b*n)
+	x := mat.FromSlice(b, n, s.sc.normed)
+	for i, f := range features {
+		m.Norm.ApplyInto(f, layout, x.Row(i))
+	}
+	clock.Mark(mStageNormalize)
+
+	// Steps ①–④ for the whole batch, then step ⑤ — one backpropagation of
+	// the per-sample ideal-label losses down to the inputs (§III-E). Rows
+	// are independent, so grads.Row(i) matches the single-sample pass.
+	if cap(s.sc.targets) < b {
+		s.sc.targets = make([]int, b)
+	}
+	targets := s.sc.targets[:b]
+	for i := range targets {
+		targets[i] = -1
+	}
+	grads, probs := s.net.InputGradientBatch(x, targets)
+
+	// Stage telemetry granularity under batching: normalize and total are
+	// marked once per fused pass, while the per-row stages mark every row
+	// (the first row's forward_gradient lap absorbs the batch's shared
+	// network pass).
+	out := make([]*Diagnosis, b)
+	for i := range out {
+		out[i] = m.postprocess(grads.Row(i), probs.Row(i), features[i], layout, &s.sc, clock)
+	}
+	clock.Done(mDiagnoseTotal)
+	return out
+}

@@ -125,9 +125,18 @@ func FitExtensible(x [][]float64, labels []int, causes int, cfg Config) *Extensi
 // Scores returns per-cause scores for x: the forest's distribution over
 // concrete causes with the unknown-class mass spread uniformly.
 func (e *Extensible) Scores(x []float64) []float64 {
+	return e.ScoresInto(x, make([]float64, e.causes))
+}
+
+// ScoresInto is Scores writing into a caller-provided buffer of Causes()
+// elements, the batch-friendly entry point serving workers use to keep
+// the hot path allocation-light. It returns out.
+func (e *Extensible) ScoresInto(x, out []float64) []float64 {
+	if len(out) != e.causes {
+		panic("forest: ScoresInto buffer has wrong length")
+	}
 	dist := e.forest.PredictProba(x)
 	unknown := dist[e.causes]
-	out := make([]float64, e.causes)
 	share := unknown / float64(e.causes)
 	for k := 0; k < e.causes; k++ {
 		out[k] = dist[k] + share

@@ -64,10 +64,7 @@ func mulRows(dst, a, b *Matrix, lo, hi int) {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyTo(av, b.Data[k*n:(k+1)*n], drow)
 		}
 	}
 }
@@ -120,10 +117,7 @@ func mulT1Rows(dst, a, b *Matrix, lo, hi int) {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyTo(av, b.Data[k*n:(k+1)*n], drow)
 		}
 	}
 }
@@ -183,13 +177,27 @@ func MulVec(m *Matrix, x []float64) []float64 {
 }
 
 // Dot returns the inner product of equal-length vectors a and b.
+//
+// The loop is unrolled four-wide with a single accumulator added to in
+// index order, so the result is bitwise identical to the scalar loop (the
+// unroll only removes bounds checks and loop overhead, it does not reorder
+// the floating-point reduction).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: Dot: len %d vs %d", len(a), len(b)))
 	}
 	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a4 := a[i : i+4 : i+4]
+		b4 := b[i : i+4 : i+4]
+		s += a4[0] * b4[0]
+		s += a4[1] * b4[1]
+		s += a4[2] * b4[2]
+		s += a4[3] * b4[3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -199,7 +207,25 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Axpy: len %d vs %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	axpyTo(alpha, x, y)
+}
+
+// axpyTo is the unchecked axpy kernel behind Axpy and the Mul inner loops:
+// y[j] += alpha*x[j] for j < len(x), with len(y) >= len(x) assumed. The
+// four-wide unroll updates independent elements, so results are bitwise
+// identical to the scalar loop while giving the CPU four parallel
+// multiply-add chains per iteration.
+func axpyTo(alpha float64, x, y []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] += alpha * x4[0]
+		y4[1] += alpha * x4[1]
+		y4[2] += alpha * x4[2]
+		y4[3] += alpha * x4[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }

@@ -97,3 +97,25 @@ func CrossEntropyGrad(logits *mat.Matrix, target int) *mat.Matrix {
 	g.Data[target] -= 1
 	return g
 }
+
+// IdealLossGrad is the batched CrossEntropyGrad: row i of the result is
+// softmax(logits[i]) − onehot(targets[i]), the backward seed of sample i's
+// own ideal-label loss. No 1/batch scaling is applied — the loss is a
+// per-sample sum, so each input-gradient row is exactly what the
+// single-sample pass would produce.
+func IdealLossGrad(logits *mat.Matrix, targets []int) *mat.Matrix {
+	if logits.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: IdealLossGrad: %d rows vs %d targets", logits.Rows, len(targets)))
+	}
+	g := mat.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := g.Row(i)
+		softmaxRow(logits.Row(i), row)
+		y := targets[i]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: IdealLossGrad: target %d out of range [0,%d)", y, logits.Cols))
+		}
+		row[y] -= 1
+	}
+	return g
+}

@@ -88,6 +88,37 @@ func (n *Network) InputGradient(x []float64, target int) (grad []float64, probs 
 	return dx.Row(0), p.Row(0)
 }
 
+// InputGradientBatch is the batched InputGradient: one forward and one
+// backward pass over the whole b×n batch instead of b separate passes.
+// Because no layer mixes information across rows, row i of the returned
+// gradient equals what InputGradient(x.Row(i), targets[i]) would produce —
+// but the weight matrices are streamed from memory once per batch rather
+// than once per sample, which is what makes the serving engine's
+// micro-batching pay. targets may be nil (per-row arg-max ideal labels) or
+// hold one class per row, -1 selecting that row's arg-max. The input batch
+// is mutated-safe: callers may reuse x's backing storage afterwards.
+func (n *Network) InputGradientBatch(x *mat.Matrix, targets []int) (grads, probs *mat.Matrix) {
+	logits := n.Forward(x)
+	tg := targets
+	if tg == nil {
+		tg = make([]int, logits.Rows)
+		for i := range tg {
+			tg[i] = -1
+		}
+	}
+	for i := range tg {
+		if tg[i] < 0 {
+			tg[i] = Argmax(logits.Row(i))
+		}
+	}
+	probs = Softmax(logits)
+	dlogits := IdealLossGrad(logits, tg)
+	n.ZeroGrads()
+	dx := n.Backward(dlogits)
+	n.ZeroGrads()
+	return dx, probs
+}
+
 // Predict returns the softmax class probabilities for a batch.
 func (n *Network) Predict(x *mat.Matrix) *mat.Matrix {
 	return Softmax(n.Forward(x))

@@ -415,7 +415,13 @@ func nonZero(s float64) float64 {
 // Apply standardizes a raw feature vector under the given layout,
 // returning a new slice.
 func (n *Normalizer) Apply(x []float64, layout Layout) []float64 {
-	out := make([]float64, len(x))
+	return n.ApplyInto(x, layout, make([]float64, len(x)))
+}
+
+// ApplyInto is Apply writing into a caller-provided buffer (which must
+// have len(x) elements), so per-request serving paths can reuse scratch
+// space instead of allocating. It returns out.
+func (n *Normalizer) ApplyInto(x []float64, layout Layout, out []float64) []float64 {
 	for pos := range layout.Landmarks {
 		for m := 0; m < int(NumMetrics); m++ {
 			i := layout.FeatureIndex(pos, Metric(m))

@@ -1,0 +1,19 @@
+package serving
+
+import "diagnet/internal/telemetry"
+
+// Serving-plane metrics (DESIGN.md §11): queue pressure, batching shape,
+// shedding and model lifecycle. Resolved once at init so the hot path pays
+// only atomic operations; GET /v1/metrics exposes them alongside the rest
+// of the registry.
+var (
+	mQueueDepth  = telemetry.Default().Gauge("serving.queue.depth")
+	mBatchSize   = telemetry.Default().Histogram("serving.batch.size", telemetry.SizeBuckets)
+	mBatchWaitMs = telemetry.Default().Histogram("serving.batch.wait_ms", nil)
+	mServed      = telemetry.Default().Counter("serving.requests.served")
+	mShedFull    = telemetry.Default().Counter("serving.shed.queue_full")
+	mShedExpired = telemetry.Default().Counter("serving.shed.expired")
+	mPanics      = telemetry.Default().Counter("serving.worker.panics")
+	mSwaps       = telemetry.Default().Counter("serving.model.swaps")
+	mWarmups     = telemetry.Default().Counter("serving.model.warmups")
+)

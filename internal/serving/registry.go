@@ -1,0 +1,316 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"diagnet/internal/core"
+)
+
+// Registry holds named model versions and the atomically swappable serving
+// snapshot. Admin operations (Add, Promote, Rollback, SetSpecialized) are
+// serialized by a mutex; the serving hot path only ever does one atomic
+// pointer load per micro-batch, so diagnoses never wait on a swap and a
+// swap never observes a half-updated model set — the race the old
+// analysis.Server.SetSpecialized had by mutating its specialized-model map
+// under a lock the Diagnose path also had to take.
+type Registry struct {
+	workers int
+
+	mu       sync.Mutex
+	versions map[string]*core.Bundle
+	order    []string // insertion order, for stable listings
+	history  []string // promotion history; last entry is the active version
+
+	cur atomic.Pointer[snapshot]
+}
+
+// snapshot is one immutable, fully warmed serving configuration: the
+// per-worker replicas of one version's models. Workers index replicas by
+// worker ID; nothing in a snapshot is ever mutated after Store, so readers
+// need no locks.
+type snapshot struct {
+	version  string
+	replicas []*replica
+}
+
+// replica is one worker's private model set: sessions clone the mutable
+// network per worker (the backward pass reuses layer caches) and carry the
+// scratch buffers that keep the hot path allocation-light.
+type replica struct {
+	general     *core.Session
+	specialized map[int]*core.Session
+}
+
+// sessionFor returns the session serving a service, falling back to the
+// general model, plus the service the session specializes (-1 = general).
+func (r *replica) sessionFor(serviceID int) (*core.Session, int) {
+	if s, ok := r.specialized[serviceID]; ok {
+		return s, serviceID
+	}
+	return r.general, -1
+}
+
+// NewRegistry builds a registry whose snapshots carry `workers` replicas.
+func NewRegistry(workers int) *Registry {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Registry{workers: workers, versions: map[string]*core.Bundle{}}
+}
+
+// current returns the active snapshot (nil before the first promotion).
+func (r *Registry) current() *snapshot { return r.cur.Load() }
+
+// Add registers a version without serving it. Version names are
+// caller-chosen identifiers ("boot", "v2", "retrain-2026-08-06"); adding
+// an existing name is an error (versions are immutable once registered —
+// register the retrain under a new name and Promote it).
+func (r *Registry) Add(version string, b *core.Bundle) error {
+	if version == "" {
+		return fmt.Errorf("serving: empty version name")
+	}
+	if b == nil || b.General == nil {
+		return fmt.Errorf("serving: version %q has no general model", version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.versions[version]; ok {
+		return fmt.Errorf("serving: version %q already registered", version)
+	}
+	r.versions[version] = b
+	r.order = append(r.order, version)
+	return nil
+}
+
+// AddModel registers a bare general model as a version.
+func (r *Registry) AddModel(version string, m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("serving: version %q has no general model", version)
+	}
+	return r.Add(version, core.NewBundle(m))
+}
+
+// Promote builds per-worker replicas of the named version, warms every
+// session up with a real inference, and atomically swaps it in. In-flight
+// batches finish on the snapshot they started with; the warm-up means the
+// first post-swap request never pays clone-and-touch costs, and a model
+// that cannot produce a finite distribution is rejected before any traffic
+// reaches it.
+func (r *Registry) Promote(version string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoteLocked(version)
+}
+
+// promoteLocked is Promote with r.mu held.
+func (r *Registry) promoteLocked(version string) error {
+	b, ok := r.versions[version]
+	if !ok {
+		return fmt.Errorf("serving: unknown version %q", version)
+	}
+	snap, err := r.buildSnapshot(version, b)
+	if err != nil {
+		return err
+	}
+	r.cur.Store(snap)
+	if n := len(r.history); n == 0 || r.history[n-1] != version {
+		r.history = append(r.history, version)
+	}
+	mSwaps.Inc()
+	return nil
+}
+
+// Rollback re-promotes the previously active version and reports which
+// version is active afterwards. Repeated rollbacks walk further back
+// through the promotion history.
+func (r *Registry) Rollback() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.history) < 2 {
+		return "", fmt.Errorf("serving: no previous version to roll back to")
+	}
+	prev := r.history[len(r.history)-2]
+	r.history = r.history[:len(r.history)-2]
+	if err := r.promoteLocked(prev); err != nil {
+		return "", err
+	}
+	return prev, nil
+}
+
+// SetSpecialized installs (or replaces) a per-service specialized model in
+// the active version via copy-on-write: a new bundle and a new snapshot
+// are built and swapped atomically, so concurrent diagnoses see either the
+// old or the new model set, never a map mid-mutation.
+func (r *Registry) SetSpecialized(serviceID int, m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("serving: nil specialized model for service %d", serviceID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if cur == nil {
+		return ErrNoModel
+	}
+	old := r.versions[cur.version]
+	nb := core.NewBundle(old.General)
+	for id, sm := range old.Specialized {
+		nb.Specialized[id] = sm
+	}
+	nb.Specialized[serviceID] = m
+	snap, err := r.buildSnapshot(cur.version, nb)
+	if err != nil {
+		return err
+	}
+	r.versions[cur.version] = nb
+	r.cur.Store(snap)
+	return nil
+}
+
+// buildSnapshot clones and warms per-worker sessions. Called with r.mu
+// held.
+func (r *Registry) buildSnapshot(version string, b *core.Bundle) (*snapshot, error) {
+	snap := &snapshot{version: version, replicas: make([]*replica, r.workers)}
+	warm := make([]float64, b.General.TrainLayout.NumFeatures())
+	for w := range snap.replicas {
+		rep := &replica{
+			general:     b.General.NewSession(),
+			specialized: make(map[int]*core.Session, len(b.Specialized)),
+		}
+		if err := warmup(rep.general, warm); err != nil {
+			return nil, fmt.Errorf("serving: version %q general model: %w", version, err)
+		}
+		for id, m := range b.Specialized {
+			sess := m.NewSession()
+			if err := warmup(sess, warm); err != nil {
+				return nil, fmt.Errorf("serving: version %q service %d: %w", version, id, err)
+			}
+			rep.specialized[id] = sess
+		}
+		snap.replicas[w] = rep
+	}
+	return snap, nil
+}
+
+// warmup runs one inference through a fresh session: it touches every
+// weight matrix (paging the clone in) and proves the model still produces
+// a finite coarse distribution before promotion exposes it to traffic.
+func warmup(s *core.Session, features []float64) error {
+	d := s.Diagnose(features, s.Model().TrainLayout)
+	for _, p := range d.Coarse {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("warm-up produced a non-finite coarse distribution")
+		}
+	}
+	mWarmups.Inc()
+	return nil
+}
+
+// Active returns the live version name ("" before the first promotion).
+func (r *Registry) Active() string {
+	if snap := r.cur.Load(); snap != nil {
+		return snap.version
+	}
+	return ""
+}
+
+// ActiveBundle returns the active version's models and name, for
+// validation and introspection (the bundle is read-only by convention).
+func (r *Registry) ActiveBundle() (*core.Bundle, string, error) {
+	snap := r.cur.Load()
+	if snap == nil {
+		return nil, "", ErrNoModel
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.versions[snap.version], snap.version, nil
+}
+
+// VersionInfo describes one registered version.
+type VersionInfo struct {
+	Name        string `json:"name"`
+	Active      bool   `json:"active"`
+	Specialized []int  `json:"specialized_services"`
+	TotalParams int    `json:"total_params"`
+}
+
+// Versions lists registered versions in registration order.
+func (r *Registry) Versions() []VersionInfo {
+	active := r.Active()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]VersionInfo, 0, len(r.order))
+	for _, name := range r.order {
+		b := r.versions[name]
+		info := VersionInfo{Name: name, Active: name == active}
+		info.TotalParams, _ = b.General.ParamCount()
+		for id := range b.Specialized {
+			info.Specialized = append(info.Specialized, id)
+		}
+		sort.Ints(info.Specialized)
+		out = append(out, info)
+	}
+	return out
+}
+
+// LoadFile registers one model or bundle file as a version. Bare models
+// and bundles share the same gob envelope trick diagnetd used: try the
+// bundle decoder first, then fall back to a single general model.
+func (r *Registry) LoadFile(version, path string) error {
+	b, err := loadBundleOrModel(path)
+	if err != nil {
+		return err
+	}
+	return r.Add(version, b)
+}
+
+// LoadDir registers every *.gob file in dir as a version named after the
+// file (base name without extension), in sorted order, and returns the
+// version names. Nothing is promoted — the caller picks.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serving: model dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".gob") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	versions := make([]string, 0, len(names))
+	for _, name := range names {
+		version := strings.TrimSuffix(name, ".gob")
+		if err := r.LoadFile(version, filepath.Join(dir, name)); err != nil {
+			return versions, err
+		}
+		versions = append(versions, version)
+	}
+	return versions, nil
+}
+
+// loadBundleOrModel reads a file as a bundle, falling back to a single
+// general model wrapped in a fresh bundle.
+func loadBundleOrModel(path string) (*core.Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if b, err := core.LoadBundle(bytes.NewReader(data)); err == nil {
+		return b, nil
+	}
+	m, err := core.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("serving: %s is neither a bundle nor a model: %w", path, err)
+	}
+	return core.NewBundle(m), nil
+}
