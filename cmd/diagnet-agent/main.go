@@ -21,6 +21,7 @@
 //	              [-round-timeout 60s] [-probe-concurrency 4] \
 //	              [-breaker-threshold 3] [-breaker-cooldown 2m] \
 //	              [-retry-attempts 2] [-metrics 127.0.0.1:8422]
+//	              [-log-format text|json]
 //
 // -landmark-regions maps each probed landmark to its region index in the
 // model's world, in the same order as -landmarks.
@@ -36,8 +37,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,7 +49,14 @@ import (
 	"diagnet/internal/analysis"
 	"diagnet/internal/landmark"
 	"diagnet/internal/resilience"
+	"diagnet/internal/tracing"
 )
+
+// fatal logs at error level and exits — slog has no Fatal.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	landmarksFlag := flag.String("landmarks", "", "comma-separated landmark base URLs")
@@ -65,18 +74,22 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Minute, "open-circuit cooldown before a half-open ping")
 	retryAttempts := flag.Int("retry-attempts", 2, "probe attempts per landmark per round")
 	metricsAddr := flag.String("metrics", "", "serve GET /metrics (telemetry + landmark health) on this address (empty = off)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	slog.SetDefault(tracing.NewLogger(os.Stderr, *logFormat))
 
 	urls := splitNonEmpty(*landmarksFlag)
 	if len(urls) == 0 || *serviceURL == "" || *analysisURL == "" {
-		log.Fatal("need -landmarks, -service-url and -analysis")
+		fatal("need -landmarks, -service-url and -analysis")
 	}
 	regions, err := parseInts(*regionsFlag)
 	if err != nil || len(regions) != len(urls) {
-		log.Fatalf("-landmark-regions must list one region index per landmark (%d given for %d landmarks)", len(regions), len(urls))
+		fatal("-landmark-regions must list one region index per landmark",
+			"given", len(regions), "landmarks", len(urls))
 	}
 	if *minLandmarks < 1 || *minLandmarks > len(urls) {
-		log.Fatalf("-min-landmarks must be in [1, %d]", len(urls))
+		fatal("-min-landmarks out of range", "max", len(urls))
 	}
 
 	prober := diagnet.NewMultiProber(diagnet.MultiProberConfig{
@@ -96,20 +109,31 @@ func main() {
 
 	for round := 0; *rounds == 0 || round < *rounds; round++ {
 		start := time.Now()
-		snap, err := probeRound(context.Background(), prober, urls, regions, *minLandmarks)
+		// One root span per round ties the whole pipeline together: the
+		// probe.round and per-landmark child spans, and — when the round
+		// escalates — the Diagnose upload, whose traceparent header makes
+		// the server's spans part of the same trace.
+		ctx, span := tracing.StartSpan(context.Background(), "agent.round")
+		span.SetAttr("round", round)
+		snap, err := probeRound(ctx, prober, urls, regions, *minLandmarks)
 		if err != nil {
-			log.Printf("round %d: %v", round, err)
+			slog.WarnContext(ctx, "round abandoned", "round", round, "err", err)
+			span.SetError(err)
+			span.End()
 			sleepRemainder(start, *interval)
 			continue
 		}
 		if len(snap.Lost) > 0 {
-			log.Printf("round %d: degraded probing plane: %d/%d landmarks lost (%s)",
-				round, len(snap.Lost), len(urls), strings.Join(snap.Lost, ", "))
+			slog.WarnContext(ctx, "degraded probing plane", "round", round,
+				"lost", len(snap.Lost), "landmarks", len(urls),
+				"lost_urls", strings.Join(snap.Lost, ","))
 		}
 
 		loadMs, err := timePageLoad(*serviceURL)
 		if err != nil {
-			log.Printf("QoE fetch: %v", err)
+			slog.WarnContext(ctx, "QoE fetch failed", "err", err)
+			span.SetError(err)
+			span.End()
 			sleepRemainder(start, *interval)
 			continue
 		}
@@ -119,22 +143,26 @@ func main() {
 				degraded = true
 			}
 		}
-		log.Printf("round %d: %d/%d landmarks probed, page load %.0f ms, degraded=%v",
-			round, len(snap.Regions), len(urls), loadMs, degraded)
+		span.SetAttr("degraded", degraded)
+		slog.InfoContext(ctx, "round complete", "round", round,
+			"probed", len(snap.Regions), "landmarks", len(urls),
+			"page_load_ms", loadMs, "degraded", degraded)
 
 		if degraded {
-			resp, err := client.Diagnose(context.Background(), &analysis.DiagnoseRequest{
+			resp, err := client.Diagnose(ctx, &analysis.DiagnoseRequest{
 				ServiceID: *serviceID,
 				Landmarks: snap.Regions,
 				Features:  snap.Features,
 				TopK:      5,
 			})
 			if err != nil {
-				log.Printf("diagnosis failed: %v", err)
+				slog.ErrorContext(ctx, "diagnosis failed", "err", err)
+				span.SetError(err)
 			} else {
-				log.Printf("diagnosis: family=%s", resp.Family)
+				slog.InfoContext(ctx, "diagnosis", "family", resp.Family)
 				for i, c := range resp.Causes {
-					log.Printf("  %d. %s (%s) score %.3f", i+1, c.Name, c.Family, c.Score)
+					slog.InfoContext(ctx, "cause", "rank", i+1, "name", c.Name,
+						"family", c.Family, "score", c.Score)
 				}
 			}
 		} else {
@@ -143,6 +171,7 @@ func main() {
 				history = history[1:]
 			}
 		}
+		span.End()
 		sleepRemainder(start, *interval)
 	}
 }
@@ -196,8 +225,9 @@ func serveMetrics(addr string, prober *landmark.MultiProber) {
 			Landmarks map[string]diagnet.LandmarkHealth `json:"landmarks"`
 		}{diagnet.Metrics(), prober.Health()})
 	})
-	log.Printf("metrics on http://%s/metrics", addr)
-	log.Print(http.ListenAndServe(addr, mux))
+	slog.Info("metrics listening", "url", "http://"+addr+"/metrics")
+	err := http.ListenAndServe(addr, mux)
+	slog.Error("metrics listener exited", "err", err)
 }
 
 // timePageLoad fetches a URL and returns the wall-clock duration in ms.

@@ -7,16 +7,25 @@
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
 //	         [-model-dir models/ [-serve-version v2]]
 //	         [-batch-max 32] [-batch-wait 2ms] [-queue-depth 256] [-workers 0]
-//	         [-pprof 127.0.0.1:6060]
+//	         [-pprof 127.0.0.1:6060] [-log-format text|json]
+//	         [-trace=true] [-trace-sample 1.0] [-trace-slow 250ms]
 //
 // API:
 //
-//	POST /v1/diagnose  {"service_id":0,"landmarks":[0,1,...],"features":[...]}
+//	POST /v1/diagnose    {"service_id":0,"landmarks":[0,1,...],"features":[...]}
 //	GET  /v1/model
-//	GET  /v1/models    registered model versions and the active one
-//	POST /v1/models    {"action":"load|promote|rollback", ...} rollout admin
-//	GET  /v1/metrics   per-route latency percentiles + serving queue/batch/shed metrics
+//	GET  /v1/models      registered model versions and the active one
+//	POST /v1/models      {"action":"load|promote|rollback", ...} rollout admin
+//	GET  /v1/metrics     per-route latency percentiles + serving queue/batch/shed metrics
+//	GET  /v1/traces      kept request traces (slow/error always, others head-sampled)
+//	GET  /v1/traces/{id} one trace as a span tree
 //	GET  /healthz
+//
+// Tracing: every /v1 request gets a trace (continued from an incoming W3C
+// traceparent header when present) whose ID is echoed in X-Trace-Id;
+// -trace-sample head-samples normal traffic while slow (> -trace-slow)
+// and error traces are always kept. Logs carry trace_id/span_id when
+// emitted under a request context, joining them to /v1/traces.
 //
 // Model lifecycle: with -model-dir, every *.gob in the directory is
 // registered as a version named after its file, and the lexically last
@@ -36,7 +45,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof only
 	"os"
@@ -48,7 +57,14 @@ import (
 	"diagnet"
 	"diagnet/internal/analysis"
 	"diagnet/internal/serving"
+	"diagnet/internal/tracing"
 )
+
+// fatal logs at error level and exits — slog has no Fatal.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8421", "listen address")
@@ -62,7 +78,19 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue; overflow is shed with 429")
 	workers := flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	traceOn := flag.Bool("trace", true, "record request traces (GET /v1/traces)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for normal traces in [0,1]; slow and error traces are always kept")
+	traceSlow := flag.Duration("trace-slow", 0, "latency above which a trace is always kept (0 = default 250ms)")
 	flag.Parse()
+
+	slog.SetDefault(tracing.NewLogger(os.Stderr, *logFormat))
+	rate := *traceSample
+	if rate == 0 {
+		rate = -1 // flag 0 means "sample nothing"; Config reads 0 as "use default"
+	}
+	tracing.Configure(tracing.Config{SampleRate: rate, SlowThreshold: *traceSlow})
+	tracing.SetEnabled(*traceOn)
 
 	engine := serving.New(serving.Config{
 		BatchMax:   *batchMax,
@@ -77,31 +105,32 @@ func main() {
 	case *modelDir != "":
 		versions, err := reg.LoadDir(*modelDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal("model dir load failed", "err", err)
 		}
 		if len(versions) == 0 {
-			log.Fatalf("no *.gob model versions in %s", *modelDir)
+			fatal("no *.gob model versions", "dir", *modelDir)
 		}
 		boot = versions[len(versions)-1]
 		if *serveVersion != "" {
 			boot = *serveVersion
 		}
-		log.Printf("registered %d model versions from %s", len(versions), *modelDir)
+		slog.Info("registered model versions", "count", len(versions), "dir", *modelDir)
 	case *bundlePath != "":
 		if err := reg.LoadFile(boot, *bundlePath); err != nil {
-			log.Fatal(err)
+			fatal("bundle load failed", "err", err)
 		}
 	default:
 		if err := reg.LoadFile(boot, *modelPath); err != nil {
-			log.Fatal(err)
+			fatal("model load failed", "err", err)
 		}
 	}
 	if err := reg.Promote(boot); err != nil {
-		log.Fatal(err)
+		fatal("boot promotion failed", "err", err)
 	}
 	cfg := engine.Config()
-	log.Printf("serving model version %q (batch-max %d, batch-wait %s, queue %d, workers %d)",
-		boot, cfg.BatchMax, cfg.BatchWait, cfg.QueueDepth, cfg.Workers)
+	slog.Info("serving model version", "version", boot,
+		"batch_max", cfg.BatchMax, "batch_wait", cfg.BatchWait,
+		"queue_depth", cfg.QueueDepth, "workers", cfg.Workers)
 
 	srv := analysis.NewServerFromEngine(engine)
 	srv.ModelDir = *modelDir
@@ -109,22 +138,23 @@ func main() {
 		for _, path := range strings.Split(*specialized, ",") {
 			m, err := loadModel(strings.TrimSpace(path))
 			if err != nil {
-				log.Fatal(err)
+				fatal("specialized model load failed", "path", path, "err", err)
 			}
 			if m.ServiceID < 0 {
-				log.Fatalf("%s is not a specialized model", path)
+				fatal("not a specialized model", "path", path)
 			}
 			if err := srv.SetSpecialized(m.ServiceID, m); err != nil {
-				log.Fatal(err)
+				fatal("specialized model registration failed", "path", path, "err", err)
 			}
-			log.Printf("loaded specialized model for service %d from %s", m.ServiceID, path)
+			slog.Info("loaded specialized model", "service", m.ServiceID, "path", path)
 		}
 	}
 
 	if *pprofAddr != "" {
 		go func() {
-			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Print(http.ListenAndServe(*pprofAddr, nil)) // DefaultServeMux carries net/http/pprof
+			slog.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
+			err := http.ListenAndServe(*pprofAddr, nil) // DefaultServeMux carries net/http/pprof
+			slog.Error("pprof listener exited", "err", err)
 		}()
 	}
 
@@ -145,24 +175,24 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("analysis service on %s (POST /v1/diagnose)", *addr)
+		slog.Info("analysis service listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("http server failed", "err", err)
 	case <-ctx.Done():
-		log.Print("shutting down: draining in-flight requests")
+		slog.Info("shutting down: draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("forced shutdown: %v", err)
+			slog.Warn("forced shutdown", "err", err)
 		}
 		if err := srv.Close(); err != nil {
-			log.Printf("engine drain: %v", err)
+			slog.Warn("engine drain", "err", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal("http server failed", "err", err)
 		}
 	}
 }

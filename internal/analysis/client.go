@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"diagnet/internal/resilience"
+	"diagnet/internal/tracing"
 )
 
 // maxErrorBody bounds how much of an error response body a client error
@@ -64,6 +65,9 @@ func (c *Client) do(ctx context.Context, method, path string, payload, out any) 
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Propagate the caller's trace (W3C traceparent) so the server's
+		// route span joins it; retried attempts re-inject the same parent.
+		tracing.Inject(ctx, req.Header)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return err

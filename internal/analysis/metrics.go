@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"net/http"
 
 	"diagnet/internal/telemetry"
+	"diagnet/internal/tracing"
 )
 
 // Per-route HTTP metrics (DESIGN.md §10): request and error counters, a
@@ -41,25 +43,45 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the route's counters, latency histogram
-// and the shared in-flight gauge. Panics still propagate to the recover
-// middleware; the deferred block keeps the gauge and counters consistent
-// on that path too (a panic counts as an error).
+// and the shared in-flight gauge, and opens the route's trace span: an
+// incoming W3C traceparent header continues the caller's trace, otherwise
+// the route starts a fresh local root. The response echoes the trace ID in
+// X-Trace-Id so a client can fetch its own trace from /v1/traces/{id}, and
+// the route latency histogram captures the trace ID as its tail exemplar.
+// Panics still propagate to the recover middleware; the deferred block
+// keeps the gauge, counters and span consistent on that path too (a panic
+// counts as an error).
 func instrument(name string, next http.HandlerFunc) http.HandlerFunc {
 	m := newRouteMetrics(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		m.requests.Inc()
 		mInflight.Add(1)
 		clock := telemetry.StartStages()
+		ctx := tracing.Extract(r.Context(), r.Header)
+		ctx, span := tracing.StartSpan(ctx, "http."+name)
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.path", r.URL.Path)
+		if id := span.TraceID(); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		finished := false
 		defer func() {
 			mInflight.Add(-1)
-			clock.Done(m.latency)
+			clock.DoneExemplar(m.latency, span.TraceID())
 			if !finished || rec.status >= 400 {
 				m.errors.Inc()
 			}
+			span.SetAttr("http.status", rec.status)
+			switch {
+			case !finished:
+				span.SetError(fmt.Errorf("panic serving %s", r.URL.Path))
+			case rec.status >= 500:
+				span.SetError(fmt.Errorf("http %d", rec.status))
+			}
+			span.End()
 		}()
-		next(rec, r)
+		next(rec, r.WithContext(ctx))
 		finished = true
 	}
 }

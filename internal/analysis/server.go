@@ -17,7 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -36,7 +36,10 @@ import (
 const maxRequestBytes = 8 << 20
 
 // recoverMiddleware turns handler panics into 500s instead of letting one
-// bad request kill the whole analysis process.
+// bad request kill the whole analysis process. (The route span, which
+// lives inside instrument, separately marks the trace as errored — the
+// trace survives in the always-keep ring even when this log line scrolls
+// away.)
 func recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
@@ -44,7 +47,9 @@ func recoverMiddleware(next http.Handler) http.Handler {
 				if rec == http.ErrAbortHandler {
 					panic(rec) // deliberate connection abort, not a bug
 				}
-				log.Printf("analysis: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				slog.ErrorContext(r.Context(), "analysis: panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
 		}()
@@ -211,6 +216,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	GET  /v1/models         → model registry listing (admin)
 //	POST /v1/models         → load / promote / rollback (admin)
 //	GET  /v1/metrics        → telemetry.Snapshot
+//	GET  /v1/traces         → kept-trace summaries (newest first)
+//	GET  /v1/traces/{id}    → one trace as a span tree
 //	GET  /healthz           → 204
 //
 // Every /v1 route is instrumented with request/error counters and a
@@ -225,6 +232,8 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, s.DriftStatus())
 	}))
 	mux.HandleFunc("/v1/metrics", instrument("metrics", handleMetrics))
+	mux.HandleFunc("/v1/traces", instrument("traces", handleTraces))
+	mux.HandleFunc("/v1/traces/", instrument("trace", handleTraceByID))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	})

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"diagnet/internal/tracing"
+)
+
+// traceTreeJSON mirrors the /v1/traces/{id} response for decoding.
+type traceTreeJSON struct {
+	TraceID string          `json:"trace_id"`
+	Spans   []traceNodeJSON `json:"spans"`
+}
+
+type traceNodeJSON struct {
+	Name     string          `json:"name"`
+	Children []traceNodeJSON `json:"children"`
+}
+
+// findChain reports whether the forest contains the given span-name chain
+// as nested descendants (each link a child, grandchild, ... of the
+// previous — intermediate generations are allowed).
+func findChain(nodes []traceNodeJSON, chain []string) bool {
+	if len(chain) == 0 {
+		return true
+	}
+	for _, n := range nodes {
+		rest := chain
+		if n.Name == chain[0] {
+			rest = chain[1:]
+			if len(rest) == 0 {
+				return true
+			}
+		}
+		if findChain(n.Children, rest) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceEndToEnd drives one diagnosis with a caller-supplied W3C
+// traceparent and asserts the whole request path is retrievable from
+// /v1/traces/{id} as one nested trace: route → queue wait → micro-batch →
+// core pipeline → pipeline stages.
+func TestTraceEndToEnd(t *testing.T) {
+	_, ts := newService(t)
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	body, err := json.Marshal(sampleRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/diagnose", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("X-Trace-Id = %q, want %q (the caller's trace must continue)", got, traceID)
+	}
+
+	// The trace finalizes when the route span ends, which races the
+	// response write by a hair — poll briefly.
+	var tree traceTreeJSON
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/traces/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusOK {
+			err = json.NewDecoder(r.Body).Decode(&tree)
+			r.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		r.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never became retrievable (last status %d)", traceID, r.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if tree.TraceID != traceID {
+		t.Fatalf("trace id %q, want %q", tree.TraceID, traceID)
+	}
+	chain := []string{"http.diagnose", "serving.queue_wait", "serving.batch", "core.diagnose"}
+	if !findChain(tree.Spans, chain) {
+		raw, _ := json.MarshalIndent(tree, "", "  ")
+		t.Fatalf("trace lacks the nested chain %v:\n%s", chain, raw)
+	}
+	if !findChain(tree.Spans, append(chain, "core.stage.ensemble")) {
+		raw, _ := json.MarshalIndent(tree, "", "  ")
+		t.Fatalf("core.diagnose span lacks stage children:\n%s", raw)
+	}
+}
+
+// TestTraceExemplarLoop closes the metrics↔traces loop: after traffic,
+// the diagnose route's latency histogram exposes a tail exemplar whose
+// trace ID resolves against the trace store.
+func TestTraceExemplarLoop(t *testing.T) {
+	_, ts := newService(t)
+	client := NewClient(ts.URL)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Diagnose(context.Background(), sampleRequest(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var snap struct {
+		Histograms map[string]struct {
+			Exemplar *struct {
+				TraceID string `json:"trace_id"`
+			} `json:"exemplar"`
+		} `json:"histograms"`
+	}
+	r, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := snap.Histograms["http.diagnose.latency_ms"]
+	if !ok {
+		t.Fatal("no http.diagnose.latency_ms histogram in /v1/metrics")
+	}
+	if h.Exemplar == nil || h.Exemplar.TraceID == "" {
+		t.Fatal("diagnose latency histogram has no trace exemplar")
+	}
+	// The exemplar must point at a retrievable trace (it can only have
+	// been evicted if the ring wrapped, which 3 requests cannot do).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := tracing.Default().Trace(h.Exemplar.TraceID); ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exemplar trace %s not retrievable", h.Exemplar.TraceID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"diagnet/internal/nn"
 	"diagnet/internal/probe"
 	"diagnet/internal/telemetry"
+	"diagnet/internal/tracing"
 )
 
 // Diagnosis is the output of DiagNet for one degraded sample: the coarse
@@ -45,19 +47,33 @@ func (d *Diagnosis) Ranked() []int {
 // collected under `layout` (which may contain landmarks the model never
 // saw during training — the whole point of root-cause extensibility).
 func (m *Model) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
+	return m.DiagnoseContext(context.Background(), features, layout)
+}
+
+// DiagnoseContext is Diagnose carrying a request context: when the
+// context holds an active trace span, the pipeline records a
+// "core.diagnose" child span with per-stage children at the same
+// boundaries as the telemetry StageClock, and the total-latency
+// histogram captures the trace ID as its tail exemplar.
+func (m *Model) DiagnoseContext(ctx context.Context, features []float64, layout probe.Layout) *Diagnosis {
 	if len(features) != layout.NumFeatures() {
 		panic("core: feature vector does not match layout")
 	}
 	mDiagnoses.Inc()
+	_, span := tracing.StartSpan(ctx, "core.diagnose")
+	span.SetAttr("features", layout.NumFeatures())
+	stages := span.Stages()
 	clock := telemetry.StartStages()
 	normed := m.Norm.Apply(features, layout)
 	clock.Mark(mStageNormalize)
+	stages.Mark("core.stage.normalize")
 
 	// Steps ①–④: coarse prediction; step ⑤: one backpropagation pass of
 	// the ideal-label loss L* down to the inputs (§III-E).
 	grad, coarse := m.Net.InputGradient(normed, -1)
-	d := m.postprocess(grad, coarse, features, layout, nil, clock)
-	clock.Done(mDiagnoseTotal)
+	d := m.postprocess(grad, coarse, features, layout, nil, clock, stages)
+	clock.DoneExemplar(mDiagnoseTotal, span.TraceID())
+	span.End()
 	return d
 }
 
@@ -85,8 +101,8 @@ func grow(buf []float64, n int) []float64 {
 // into a Diagnosis: Eq. 1 attention, Algorithm 1 weighting and §III-F
 // ensemble averaging. grad and coarse are consumed (the attention and
 // output slices are freshly allocated — a Diagnosis outlives any scratch);
-// sc may be nil, clock may be nil.
-func (m *Model) postprocess(grad, coarse, features []float64, layout probe.Layout, sc *scratch, clock *telemetry.StageClock) *Diagnosis {
+// sc may be nil, clock and stages may be nil.
+func (m *Model) postprocess(grad, coarse, features []float64, layout probe.Layout, sc *scratch, clock *telemetry.StageClock, stages *tracing.StageSpans) *Diagnosis {
 	fam := probe.Family(nn.Argmax(coarse))
 
 	// Equation 1: γ̂_j = |∇_j| / Σ|∇_k|.
@@ -108,9 +124,11 @@ func (m *Model) postprocess(grad, coarse, features []float64, layout probe.Layou
 		}
 	}
 	clock.Mark(mStageAttention)
+	stages.Mark("core.stage.forward_gradient")
 
 	tuned := scoreWeighting(attention, coarse, layout, fam)
 	clock.Mark(mStageWeighting)
+	stages.Mark("core.stage.weighting")
 
 	// Ensemble averaging (§III-F): w_U γ̂′ + (1−w_U) α̂.
 	var wU float64
@@ -136,6 +154,7 @@ func (m *Model) postprocess(grad, coarse, features []float64, layout probe.Layou
 		final[j] = wU*tuned[j] + (1-wU)*aux[j]
 	}
 	clock.Mark(mStageEnsemble)
+	stages.Mark("core.stage.ensemble")
 
 	return &Diagnosis{
 		Layout:        layout,

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+
 	"diagnet/internal/mat"
 	"diagnet/internal/nn"
 	"diagnet/internal/probe"
 	"diagnet/internal/telemetry"
+	"diagnet/internal/tracing"
 )
 
 // Session is a per-worker inference context: a private clone of the
@@ -41,6 +44,16 @@ func (s *Session) Diagnose(features []float64, layout probe.Layout) *Diagnosis {
 // comes from. Results are in input order and each Diagnosis is freshly
 // allocated (only intermediates live in the session's scratch).
 func (s *Session) DiagnoseBatch(features [][]float64, layout probe.Layout) []*Diagnosis {
+	return s.DiagnoseBatchContext(context.Background(), features, layout)
+}
+
+// DiagnoseBatchContext is DiagnoseBatch carrying a request context: when
+// the context holds an active trace span (the serving engine passes the
+// micro-batch span of the group's lead request), the fused pass records a
+// "core.diagnose" child span with stage children at the StageClock
+// boundaries, and the total-latency histogram captures the trace ID as
+// its tail exemplar.
+func (s *Session) DiagnoseBatchContext(ctx context.Context, features [][]float64, layout probe.Layout) []*Diagnosis {
 	b, n := len(features), layout.NumFeatures()
 	if b == 0 {
 		return nil
@@ -52,6 +65,10 @@ func (s *Session) DiagnoseBatch(features [][]float64, layout probe.Layout) []*Di
 		}
 	}
 	mDiagnoses.Add(int64(b))
+	_, span := tracing.StartSpan(ctx, "core.diagnose")
+	span.SetAttr("batch.size", b)
+	span.SetAttr("features", n)
+	stages := span.Stages()
 	clock := telemetry.StartStages()
 
 	s.sc.normed = grow(s.sc.normed, b*n)
@@ -60,6 +77,7 @@ func (s *Session) DiagnoseBatch(features [][]float64, layout probe.Layout) []*Di
 		m.Norm.ApplyInto(f, layout, x.Row(i))
 	}
 	clock.Mark(mStageNormalize)
+	stages.Mark("core.stage.normalize")
 
 	// Steps ①–④ for the whole batch, then step ⑤ — one backpropagation of
 	// the per-sample ideal-label losses down to the inputs (§III-E). Rows
@@ -76,11 +94,17 @@ func (s *Session) DiagnoseBatch(features [][]float64, layout probe.Layout) []*Di
 	// Stage telemetry granularity under batching: normalize and total are
 	// marked once per fused pass, while the per-row stages mark every row
 	// (the first row's forward_gradient lap absorbs the batch's shared
-	// network pass).
+	// network pass). Stage spans mirror that for the first row only — one
+	// set of stage children per fused pass keeps traces readable.
 	out := make([]*Diagnosis, b)
 	for i := range out {
-		out[i] = m.postprocess(grads.Row(i), probs.Row(i), features[i], layout, &s.sc, clock)
+		rowStages := stages
+		if i > 0 {
+			rowStages = nil
+		}
+		out[i] = m.postprocess(grads.Row(i), probs.Row(i), features[i], layout, &s.sc, clock, rowStages)
 	}
-	clock.Done(mDiagnoseTotal)
+	clock.DoneExemplar(mDiagnoseTotal, span.TraceID())
+	span.End()
 	return out
 }

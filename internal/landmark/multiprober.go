@@ -8,6 +8,7 @@ import (
 
 	"diagnet/internal/resilience"
 	"diagnet/internal/telemetry"
+	"diagnet/internal/tracing"
 )
 
 // Probing-plane metrics (DESIGN.md §10): round and landmark counters plus
@@ -163,6 +164,8 @@ func (mp *MultiProber) state(url string) *landmarkState {
 func (mp *MultiProber) ProbeAll(ctx context.Context, urls []string) ([]ProbeResult, bool) {
 	ctx, cancel := context.WithTimeout(ctx, mp.cfg.RoundTimeout)
 	defer cancel()
+	ctx, span := tracing.StartSpan(ctx, "probe.round")
+	span.SetAttr("landmarks", len(urls))
 	mRounds.Inc()
 	roundStart := time.Now()
 
@@ -191,15 +194,30 @@ func (mp *MultiProber) ProbeAll(ctx context.Context, urls []string) ([]ProbeResu
 	if partial {
 		mRoundsDegraded.Inc()
 	}
+	span.SetAttr("partial", partial)
+	span.End()
 	return results, partial
 }
 
-// probeOne runs the breaker + retry pipeline for a single landmark.
-func (mp *MultiProber) probeOne(ctx context.Context, index int, url string) ProbeResult {
-	res := ProbeResult{URL: url, Index: index}
+// probeOne runs the breaker + retry pipeline for a single landmark,
+// recording it as a "probe.landmark" child span of the round: attempts,
+// breaker state and skip/error outcomes all land on the span, so a
+// degraded round's trace shows exactly which landmark burned the time.
+func (mp *MultiProber) probeOne(ctx context.Context, index int, url string) (res ProbeResult) {
+	res = ProbeResult{URL: url, Index: index}
 	st := mp.state(url)
 
+	_, span := tracing.StartSpan(ctx, "probe.landmark")
+	span.SetAttr("url", url)
+	defer func() {
+		span.SetAttr("attempts", res.Attempts)
+		span.SetAttr("skipped", res.Skipped)
+		span.SetError(res.Err)
+		span.End()
+	}()
+
 	state, allowed := st.breaker.Allow()
+	span.SetAttr("breaker", state.String())
 	if !allowed {
 		res.Skipped = true
 		res.Err = fmt.Errorf("landmark %s: %w (state %s)", url, resilience.ErrCircuitOpen, state)

@@ -10,13 +10,15 @@ import (
 	"diagnet/internal/core"
 	"diagnet/internal/probe"
 	"diagnet/internal/telemetry"
+	"diagnet/internal/tracing"
 )
 
 // item is one queued submission.
 type item struct {
-	ctx  context.Context
-	req  *Request
-	done chan outcome // buffered(1): workers never block on abandoned waiters
+	ctx   context.Context
+	req   *Request
+	qspan *tracing.Span // "serving.queue_wait": opened at admission, closed when a batch picks the item up (or on shed)
+	done  chan outcome  // buffered(1): workers never block on abandoned waiters
 }
 
 type outcome struct {
@@ -110,11 +112,17 @@ func (e *Engine) submit(ctx context.Context, req *Request, wait bool) (*Result, 
 	if e.reg.current() == nil {
 		return nil, ErrNoModel
 	}
-	it := &item{ctx: ctx, req: req, done: make(chan outcome, 1)}
+	// The queue-wait span covers admission through batch pickup; its End
+	// moves to whichever path settles the item (serveBatch/serveGroup on
+	// the worker, or the shed paths right here).
+	qctx, qspan := tracing.StartSpan(ctx, "serving.queue_wait")
+	it := &item{ctx: qctx, req: req, qspan: qspan, done: make(chan outcome, 1)}
 
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		qspan.SetError(ErrClosed)
+		qspan.End()
 		return nil, ErrClosed
 	}
 	if wait {
@@ -126,7 +134,10 @@ func (e *Engine) submit(ctx context.Context, req *Request, wait bool) (*Result, 
 			e.mu.RUnlock()
 		case <-ctx.Done():
 			e.mu.RUnlock()
-			return nil, ctxErr(ctx)
+			err := ctxErr(ctx)
+			qspan.SetError(err)
+			qspan.End()
+			return nil, err
 		}
 	} else {
 		select {
@@ -136,6 +147,8 @@ func (e *Engine) submit(ctx context.Context, req *Request, wait bool) (*Result, 
 			e.mu.RUnlock()
 			e.shedFull.Add(1)
 			mShedFull.Inc()
+			qspan.SetError(ErrQueueFull)
+			qspan.End()
 			return nil, ErrQueueFull
 		}
 	}
@@ -258,10 +271,14 @@ func (e *Engine) serveBatch(snap *snapshot, worker int, batch []*item) {
 		if err := it.ctx.Err(); err != nil {
 			e.shedExpired.Add(1)
 			mShedExpired.Inc()
+			it.qspan.SetError(err)
+			it.qspan.End()
 			it.done <- outcome{err: err}
 			continue
 		}
 		if snap == nil {
+			it.qspan.SetError(ErrNoModel)
+			it.qspan.End()
 			it.done <- outcome{err: ErrNoModel}
 			continue
 		}
@@ -295,17 +312,41 @@ func (e *Engine) serveBatch(snap *snapshot, worker int, batch []*item) {
 				features = append(features, live[j].req.Features)
 			}
 		}
-		e.serveGroup(snap, sess, svc, lead.req.Layout, members, features)
+		e.serveGroup(snap, worker, sess, svc, lead.req.Layout, members, features)
 	}
 }
 
 // serveGroup runs one fused pass over a same-layout group, recovering a
 // panicking model into per-item errors instead of killing the worker.
-func (e *Engine) serveGroup(snap *snapshot, sess *core.Session, svc int, layout probe.Layout, members []*item, features [][]float64) {
+//
+// Trace topology: the "serving.batch" span is a child of the group lead's
+// queue-wait span (the lead is always its own lead, so a lone request gets
+// the full route → queue_wait → batch → core.diagnose nesting), and
+// cross-links tie the fusion together — the batch span links to every
+// member's queue-wait span, and every non-lead member's queue-wait span
+// links back to the batch span that served it, so a member's trace still
+// reaches the shared inference work even though that work was recorded
+// under the lead's trace.
+func (e *Engine) serveGroup(snap *snapshot, worker int, sess *core.Session, svc int, layout probe.Layout, members []*item, features [][]float64) {
+	lead := members[0]
+	bctx, bspan := tracing.StartSpan(lead.ctx, "serving.batch")
+	bspan.SetAttr("batch.size", len(members))
+	bspan.SetAttr("model.version", snap.version)
+	bspan.SetAttr("worker", worker)
+	bref := bspan.Context()
+	for _, it := range members {
+		bspan.Link(it.qspan.Context())
+		if it != lead {
+			it.qspan.Link(bref)
+		}
+		it.qspan.End() // queue wait is over: the batch has picked the item up
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			mPanics.Inc()
 			err := fmt.Errorf("serving: model panic: %v", rec)
+			bspan.SetError(err)
+			bspan.End()
 			for _, it := range members {
 				select {
 				case it.done <- outcome{err: err}:
@@ -314,7 +355,8 @@ func (e *Engine) serveGroup(snap *snapshot, sess *core.Session, svc int, layout 
 			}
 		}
 	}()
-	diags := sess.DiagnoseBatch(features, layout)
+	diags := sess.DiagnoseBatchContext(bctx, features, layout)
+	bspan.End()
 	for k, it := range members {
 		e.served.Add(1)
 		mServed.Inc()

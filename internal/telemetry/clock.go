@@ -68,3 +68,13 @@ func (c *StageClock) Done(h *Histogram) {
 	}
 	h.Observe(Millis(time.Since(c.start)))
 }
+
+// DoneExemplar is Done with exemplar capture: the observation carries the
+// given trace ID so tail-latency snapshots point at a retrievable trace.
+// An empty trace ID degrades to Done.
+func (c *StageClock) DoneExemplar(h *Histogram, traceID string) {
+	if c == nil {
+		return
+	}
+	h.ObserveExemplar(Millis(time.Since(c.start)), traceID)
+}

@@ -83,10 +83,19 @@ var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4
 // limits in ascending order; observations above the last bound land in an
 // overflow bucket. Safe for concurrent use.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1, last is overflow
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1, last is overflow
+	count     atomic.Int64
+	sum       atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar] // per bucket, latest observation wins
+}
+
+// Exemplar ties one concrete observation to the trace that produced it —
+// the bridge from an aggregate percentile line to a retrievable request
+// trace (GET /v1/traces/{trace_id}).
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // NewHistogram builds a histogram over the given bucket bounds (nil means
@@ -101,11 +110,29 @@ func NewHistogram(bounds []float64) *Histogram {
 			panic("telemetry: histogram bounds must be ascending")
 		}
 	}
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe folds one value in.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// ObserveExemplar is Observe plus exemplar capture: the observation's
+// trace ID is stored in its bucket's exemplar slot (latest observation
+// wins), so tail-bucket entries let a p99 snapshot line point at a
+// concrete retrievable trace. An empty trace ID degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// observe folds one value in and returns its bucket index.
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -113,7 +140,7 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nv) {
-			return
+			return i
 		}
 	}
 }
@@ -122,7 +149,10 @@ func (h *Histogram) Observe(v float64) {
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // HistogramSnapshot is a consistent-enough point-in-time view of a
-// histogram: totals plus interpolated percentiles.
+// histogram: totals plus interpolated percentiles. A histogram with zero
+// observations reports the documented sentinel 0 for Sum, Mean and every
+// percentile — never an interpolated value and never NaN, so snapshots
+// always stay JSON-marshalable (check Count before trusting percentiles).
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
@@ -130,11 +160,17 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Exemplar, when present, is the captured observation nearest the
+	// distribution's tail (scanning buckets from the top) — the concrete
+	// trace behind this histogram's worst latencies.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot computes the current totals and percentiles. Percentiles are
 // linearly interpolated inside their bucket; values in the overflow bucket
-// report the last bound (the histogram cannot resolve beyond it).
+// report the last bound (the histogram cannot resolve beyond it). Zero
+// observations yield the all-zero sentinel snapshot (see
+// HistogramSnapshot).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	counts := make([]int64, len(h.counts))
 	var total int64
@@ -144,17 +180,36 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s := HistogramSnapshot{Count: total, Sum: math.Float64frombits(h.sum.Load())}
 	if total == 0 {
+		// Sentinel: no observations means no percentiles. Sum is forced to
+		// 0 too (a racing Observe may have CAS-ed the sum before its bucket
+		// count landed; a half-applied observation must not leak).
+		s.Sum = 0
 		return s
 	}
 	s.Mean = s.Sum / float64(total)
 	s.P50 = h.quantile(counts, total, 0.50)
 	s.P90 = h.quantile(counts, total, 0.90)
 	s.P99 = h.quantile(counts, total, 0.99)
+	// Tail exemplar: scan from the overflow bucket down, first captured
+	// exemplar of a non-empty bucket wins.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] == 0 {
+			continue
+		}
+		if ex := h.exemplars[i].Load(); ex != nil {
+			s.Exemplar = ex
+			break
+		}
+	}
 	return s
 }
 
-// quantile interpolates the q-quantile from bucket counts.
+// quantile interpolates the q-quantile from bucket counts. total must be
+// > 0 (Snapshot returns the zero sentinel before calling it otherwise).
 func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
 	rank := q * float64(total)
 	var cum float64
 	for i, c := range counts {

@@ -223,3 +223,68 @@ func BenchmarkStageClock(b *testing.B) {
 		c.Done(total)
 	}
 }
+
+// TestEmptyHistogramSnapshotSentinel pins the zero-observation contract:
+// every field of the snapshot is the documented sentinel 0 — not an
+// interpolated value, not NaN — and the snapshot marshals to JSON
+// cleanly (NaN would fail encoding/json and break GET /v1/metrics).
+func TestEmptyHistogramSnapshotSentinel(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("count %d on an empty histogram", s.Count)
+	}
+	for name, v := range map[string]float64{
+		"sum": s.Sum, "mean": s.Mean, "p50": s.P50, "p90": s.P90, "p99": s.P99,
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v on an empty histogram (want sentinel 0)", name, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v is not JSON-marshalable", name, v)
+		}
+	}
+	if s.Exemplar != nil {
+		t.Fatalf("exemplar %+v on an empty histogram", s.Exemplar)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty snapshot does not marshal: %v", err)
+	}
+}
+
+// TestHistogramExemplar checks that tail-bucket exemplars surface in
+// snapshots and that the tail-most captured exemplar wins.
+func TestHistogramExemplar(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveExemplar(0.5, "trace-fast")
+	h.ObserveExemplar(400, "trace-slow")
+	h.Observe(401) // same bucket, no trace: must not clobber the exemplar
+	s := h.Snapshot()
+	if s.Exemplar == nil {
+		t.Fatal("no exemplar in snapshot")
+	}
+	if s.Exemplar.TraceID != "trace-slow" || s.Exemplar.Value != 400 {
+		t.Fatalf("want the tail exemplar, got %+v", s.Exemplar)
+	}
+	// Empty trace ID degrades to a plain observation.
+	h2 := NewHistogram(nil)
+	h2.ObserveExemplar(1, "")
+	if s2 := h2.Snapshot(); s2.Count != 1 || s2.Exemplar != nil {
+		t.Fatalf("empty-trace observation mishandled: %+v", s2)
+	}
+}
+
+// TestDoneExemplar checks the StageClock bridge.
+func TestDoneExemplar(t *testing.T) {
+	h := NewHistogram(nil)
+	c := StartStages()
+	c.DoneExemplar(h, "trace-x")
+	if s := h.Snapshot(); s.Count != 1 || s.Exemplar == nil || s.Exemplar.TraceID != "trace-x" {
+		t.Fatalf("exemplar not recorded through the clock: %+v", s)
+	}
+	var nilClock *StageClock
+	nilClock.DoneExemplar(h, "y") // must no-op
+	if h.Count() != 1 {
+		t.Fatal("nil clock observed")
+	}
+}

@@ -1,0 +1,202 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed trace: the root span's identity plus every
+// span recorded before the root ended (flat; Tree nests them).
+type TraceRecord struct {
+	TraceID      string     `json:"trace_id"`
+	Root         string     `json:"root"`
+	Start        time.Time  `json:"start"`
+	DurationMs   float64    `json:"duration_ms"`
+	Error        bool       `json:"error"`
+	Slow         bool       `json:"slow"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// TraceSummary is the listing view of one completed trace.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Error      bool      `json:"error"`
+	Slow       bool      `json:"slow"`
+}
+
+// SpanNode is one span with its children — the JSON span tree served by
+// GET /v1/traces/{id}.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree nests the record's spans by parent ID. Spans whose parent is
+// remote or was dropped surface as roots, earliest first; siblings are
+// ordered by start time.
+func (r *TraceRecord) Tree() []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(r.Spans))
+	for i := range r.Spans {
+		nodes[r.Spans[i].SpanID] = &SpanNode{SpanData: r.Spans[i]}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if p, ok := nodes[n.ParentID]; ok && n.ParentID != n.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortNodes func(ns []*SpanNode)
+	sortNodes = func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// recorder keeps completed traces in two FIFO rings: sampled traces, and
+// the always-keep ring of slow/error traces. Recording is one mutex
+// acquisition per completed *trace* (not per span), so the cost stays off
+// the per-request path.
+type recorder struct {
+	mu   sync.Mutex
+	ring ringBuf
+	slow ringBuf
+	byID map[string][]*TraceRecord
+}
+
+// ringBuf is a fixed-capacity FIFO of trace records.
+type ringBuf struct {
+	recs []*TraceRecord
+	next int
+	size int
+}
+
+// add stores rec, returning the record it evicted (nil when none).
+func (rb *ringBuf) add(rec *TraceRecord) *TraceRecord {
+	if len(rb.recs) == 0 {
+		return rec // capacity 0: drop immediately
+	}
+	old := rb.recs[rb.next]
+	rb.recs[rb.next] = rec
+	rb.next = (rb.next + 1) % len(rb.recs)
+	if rb.size < len(rb.recs) {
+		rb.size++
+		return nil
+	}
+	return old
+}
+
+// resize re-allocates the rings (startup-time configuration; existing
+// records are discarded).
+func (r *recorder) resize(capacity, slowCapacity int) {
+	r.mu.Lock()
+	r.ring = ringBuf{recs: make([]*TraceRecord, capacity)}
+	r.slow = ringBuf{recs: make([]*TraceRecord, slowCapacity)}
+	r.byID = make(map[string][]*TraceRecord)
+	r.mu.Unlock()
+}
+
+// keep stores one completed trace, evicting the oldest of its ring.
+func (r *recorder) keep(rec *TraceRecord, alwaysKeep bool) {
+	r.mu.Lock()
+	var evicted *TraceRecord
+	if alwaysKeep {
+		evicted = r.slow.add(rec)
+	} else {
+		evicted = r.ring.add(rec)
+	}
+	if evicted != nil && evicted != rec {
+		r.unindex(evicted)
+	}
+	if evicted != rec {
+		r.byID[rec.TraceID] = append(r.byID[rec.TraceID], rec)
+	}
+	r.mu.Unlock()
+}
+
+// unindex removes one record pointer from the by-ID index.
+func (r *recorder) unindex(rec *TraceRecord) {
+	recs := r.byID[rec.TraceID]
+	for i, c := range recs {
+		if c == rec {
+			recs = append(recs[:i], recs[i+1:]...)
+			break
+		}
+	}
+	if len(recs) == 0 {
+		delete(r.byID, rec.TraceID)
+	} else {
+		r.byID[rec.TraceID] = recs
+	}
+}
+
+// Traces lists every kept trace, newest first. See Tracer.Traces.
+func (r *recorder) list() []TraceSummary {
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, r.ring.size+r.slow.size)
+	for _, rb := range []*ringBuf{&r.slow, &r.ring} {
+		for _, rec := range rb.recs {
+			if rec == nil {
+				continue
+			}
+			out = append(out, TraceSummary{
+				TraceID:    rec.TraceID,
+				Root:       rec.Root,
+				Start:      rec.Start,
+				DurationMs: rec.DurationMs,
+				Spans:      len(rec.Spans),
+				Error:      rec.Error,
+				Slow:       rec.Slow,
+			})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// get returns the kept trace with the given ID. Multiple local roots of
+// the same trace (an in-process agent + server sharing one tracer) merge
+// into a single record.
+func (r *recorder) get(id string) (*TraceRecord, bool) {
+	r.mu.Lock()
+	recs := r.byID[id]
+	if len(recs) == 0 {
+		r.mu.Unlock()
+		return nil, false
+	}
+	merged := &TraceRecord{TraceID: id}
+	for _, rec := range recs {
+		if merged.Start.IsZero() || rec.Start.Before(merged.Start) {
+			merged.Root = rec.Root
+			merged.Start = rec.Start
+		}
+		if rec.DurationMs > merged.DurationMs {
+			merged.DurationMs = rec.DurationMs
+		}
+		merged.Error = merged.Error || rec.Error
+		merged.Slow = merged.Slow || rec.Slow
+		merged.DroppedSpans += rec.DroppedSpans
+		merged.Spans = append(merged.Spans, rec.Spans...)
+	}
+	r.mu.Unlock()
+	return merged, true
+}
+
+// Traces lists the tracer's kept traces, newest first: the always-keep
+// slow/error ring plus the sampled ring.
+func (t *Tracer) Traces() []TraceSummary { return t.rec.list() }
+
+// Trace returns the kept trace with the given hex ID.
+func (t *Tracer) Trace(id string) (*TraceRecord, bool) { return t.rec.get(id) }

@@ -1,0 +1,119 @@
+package tracing
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C Trace Context header carrying the trace
+// identity across HTTP hops: version-traceid-spanid-flags.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a SpanContext as a W3C traceparent value.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + flags
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isZero reports whether s is all '0' characters.
+func isZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It never
+// panics: malformed versions, lengths, separators, non-hex IDs, all-zero
+// IDs and the forbidden version ff all return an error. Versions above 00
+// are accepted when the 00-format prefix parses (future versions may
+// append fields after another dash, which is tolerated).
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	// 00-{32 hex}-{16 hex}-{2 hex} = 55 bytes.
+	if len(s) < 55 {
+		return sc, fmt.Errorf("tracing: traceparent too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("tracing: traceparent separators misplaced")
+	}
+	version, traceID, spanID, flagsField := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(version) {
+		return sc, fmt.Errorf("tracing: bad traceparent version %q", version)
+	}
+	if version == "ff" {
+		return sc, fmt.Errorf("tracing: forbidden traceparent version ff")
+	}
+	switch {
+	case len(s) == 55:
+		// exact 00-format length: fine for any version
+	case version == "00":
+		return sc, fmt.Errorf("tracing: version 00 traceparent has trailing bytes")
+	case s[55] != '-':
+		return sc, fmt.Errorf("tracing: traceparent extra fields must be dash-separated")
+	}
+	if !isLowerHex(traceID) || isZero(traceID) {
+		return sc, fmt.Errorf("tracing: bad trace ID %q", traceID)
+	}
+	if !isLowerHex(spanID) || isZero(spanID) {
+		return sc, fmt.Errorf("tracing: bad parent span ID %q", spanID)
+	}
+	if !isLowerHex(flagsField) {
+		return sc, fmt.Errorf("tracing: bad trace flags %q", flagsField)
+	}
+	sc.TraceID = traceID
+	sc.SpanID = spanID
+	// Only the sampled bit of the flags byte is defined.
+	sc.Sampled = hexNibble(flagsField[1])&0x1 == 1
+	return sc, nil
+}
+
+// hexNibble decodes one already-validated lowercase hex digit.
+func hexNibble(c byte) int {
+	if c <= '9' {
+		return int(c - '0')
+	}
+	return int(c-'a') + 10
+}
+
+// Extract reads the traceparent header into the context, so the next
+// StartSpan continues the remote trace as a local root. A missing or
+// malformed header leaves the context unchanged (a fresh trace starts
+// downstream) — propagation must never fail a request.
+func Extract(ctx context.Context, h http.Header) context.Context {
+	sc, err := ParseTraceparent(h.Get(TraceparentHeader))
+	if err != nil {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// Inject writes the context's active span (or, absent one, its extracted
+// remote span context) into the traceparent header of an outgoing
+// request. No span, no header.
+func Inject(ctx context.Context, h http.Header) {
+	if s := FromContext(ctx); s != nil {
+		h.Set(TraceparentHeader, FormatTraceparent(s.Context()))
+		return
+	}
+	if rc, ok := ctx.Value(remoteKey{}).(SpanContext); ok {
+		h.Set(TraceparentHeader, FormatTraceparent(rc))
+	}
+}

@@ -1,0 +1,132 @@
+package tracing
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func validTraceparent() string {
+	return "00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01"
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	sc, err := ParseTraceparent(validTraceparent())
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if sc.TraceID != strings.Repeat("ab", 16) || sc.SpanID != strings.Repeat("cd", 8) || !sc.Sampled {
+		t.Fatalf("bad parse: %+v", sc)
+	}
+	// flags 00 → unsampled
+	sc, err = ParseTraceparent(strings.TrimSuffix(validTraceparent(), "01") + "00")
+	if err != nil || sc.Sampled {
+		t.Fatalf("unsampled flags mishandled: %+v %v", sc, err)
+	}
+	// future version with a trailing field is tolerated
+	future := "cc-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01-extradata"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"00",
+		"00-short-short-01",
+		"ff-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01",       // forbidden version
+		"00-" + strings.Repeat("00", 16) + "-" + strings.Repeat("cd", 8) + "-01",       // zero trace ID
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("00", 8) + "-01",       // zero span ID
+		"00-" + strings.Repeat("AB", 16) + "-" + strings.Repeat("cd", 8) + "-01",       // uppercase hex
+		"00-" + strings.Repeat("zz", 16) + "-" + strings.Repeat("cd", 8) + "-01",       // non-hex
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01-extra", // v00 with trailer
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-zz",       // bad flags
+		"00x" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01",       // bad separator
+		"cc-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01xtrail", // future version, no dash
+		strings.Repeat("-", 55),
+	}
+	for _, c := range cases {
+		if _, err := ParseTraceparent(c); err == nil {
+			t.Errorf("accepted invalid traceparent %q", c)
+		}
+	}
+}
+
+// FuzzParseTraceparent mirrors FuzzHandleDiagnose: any byte soup must
+// yield a clean error, never a panic or an accepted zero identity.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTraceparent())
+	f.Add("")
+	f.Add("00---")
+	f.Add("ff-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01")
+	f.Add("00-" + strings.Repeat("00", 16) + "-" + strings.Repeat("00", 8) + "-00")
+	f.Add(strings.Repeat("0", 55))
+	f.Add("01-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01-more-fields")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if len(sc.TraceID) != 32 || len(sc.SpanID) != 16 {
+			t.Fatalf("accepted malformed identity %+v from %q", sc, s)
+		}
+		if isZero(sc.TraceID) || isZero(sc.SpanID) {
+			t.Fatalf("accepted zero identity from %q", s)
+		}
+	})
+}
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	tr := newTestTracer(Config{})
+	ctx, s := tr.StartSpan(context.Background(), "client")
+	h := http.Header{}
+	Inject(ctx, h)
+	got := h.Get(TraceparentHeader)
+	if got == "" {
+		t.Fatal("no traceparent injected")
+	}
+	sc, err := ParseTraceparent(got)
+	if err != nil {
+		t.Fatalf("injected header does not parse: %v", err)
+	}
+	if sc.TraceID != s.TraceID() {
+		t.Fatalf("trace ID mangled: %s vs %s", sc.TraceID, s.TraceID())
+	}
+
+	// Server side: extract then start — the local root continues the trace.
+	sctx := Extract(context.Background(), h)
+	_, server := tr.StartSpan(sctx, "server")
+	if server.TraceID() != s.TraceID() {
+		t.Fatalf("trace not continued across the hop")
+	}
+	server.End()
+	s.End()
+}
+
+func TestInjectWithoutSpan(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h)
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatal("header injected without a span")
+	}
+	// A context carrying only an extracted remote identity still forwards it.
+	rh := http.Header{}
+	rh.Set(TraceparentHeader, validTraceparent())
+	rctx := Extract(context.Background(), rh)
+	h2 := http.Header{}
+	Inject(rctx, h2)
+	if h2.Get(TraceparentHeader) == "" {
+		t.Fatal("remote identity not forwarded")
+	}
+}
+
+func TestExtractMalformedLeavesContext(t *testing.T) {
+	h := http.Header{}
+	h.Set(TraceparentHeader, "garbage")
+	ctx := Extract(context.Background(), h)
+	if _, ok := ctx.Value(remoteKey{}).(SpanContext); ok {
+		t.Fatal("malformed header stored a remote context")
+	}
+}
