@@ -21,7 +21,13 @@
 //	              [-round-timeout 60s] [-probe-concurrency 4] \
 //	              [-breaker-threshold 3] [-breaker-cooldown 2m] \
 //	              [-retry-attempts 2] [-metrics 127.0.0.1:8422]
-//	              [-log-format text|json]
+//	              [-state-dir state/] [-log-format text|json]
+//
+// With -state-dir, every degraded-round snapshot is journaled before the
+// diagnosis upload and acknowledged only after diagnetd answers: a crash
+// mid-upload (or a long analysis-service outage) leaves the snapshot on
+// disk, and a restarted agent resubmits the pending backlog before its
+// first probing round.
 //
 // -landmark-regions maps each probed landmark to its region index in the
 // model's world, in the same order as -landmarks.
@@ -74,6 +80,7 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Minute, "open-circuit cooldown before a half-open ping")
 	retryAttempts := flag.Int("retry-attempts", 2, "probe attempts per landmark per round")
 	metricsAddr := flag.String("metrics", "", "serve GET /metrics (telemetry + landmark health) on this address (empty = off)")
+	stateDir := flag.String("state-dir", "", "journal degraded-round snapshots here; pending uploads survive a crash (empty = off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
@@ -104,6 +111,18 @@ func main() {
 	client := analysis.NewClient(*analysisURL)
 	if *metricsAddr != "" {
 		go serveMetrics(*metricsAddr, prober)
+	}
+	var uploads *uploadLog
+	if *stateDir != "" {
+		var err error
+		uploads, err = openUploadLog(*stateDir)
+		if err != nil {
+			fatal("state dir open failed", "dir", *stateDir, "err", err)
+		}
+		defer uploads.close()
+		// Crash recovery: resubmit journaled uploads the last run never
+		// got an answer for, before the first new probing round.
+		uploads.resubmit(client)
 	}
 	var history []float64
 
@@ -149,16 +168,34 @@ func main() {
 			"page_load_ms", loadMs, "degraded", degraded)
 
 		if degraded {
-			resp, err := client.Diagnose(ctx, &analysis.DiagnoseRequest{
+			req := &analysis.DiagnoseRequest{
 				ServiceID: *serviceID,
 				Landmarks: snap.Regions,
 				Features:  snap.Features,
 				TopK:      5,
-			})
+			}
+			// Journal before uploading: the snapshot survives a crash (or
+			// analysis outage) between here and the acknowledgement below.
+			var seq uint64
+			journaled := false
+			if uploads != nil {
+				if seq, err = uploads.append(req); err != nil {
+					slog.WarnContext(ctx, "upload journal append failed", "err", err)
+				} else {
+					journaled = true
+				}
+			}
+			resp, err := client.Diagnose(ctx, req)
 			if err != nil {
-				slog.ErrorContext(ctx, "diagnosis failed", "err", err)
+				slog.ErrorContext(ctx, "diagnosis failed", "err", err,
+					"journaled", journaled)
 				span.SetError(err)
 			} else {
+				if journaled {
+					if err := uploads.ack(seq); err != nil {
+						slog.WarnContext(ctx, "upload journal ack failed", "err", err)
+					}
+				}
 				slog.InfoContext(ctx, "diagnosis", "family", resp.Family)
 				for i, c := range resp.Causes {
 					slog.InfoContext(ctx, "cause", "rank", i+1, "name", c.Name,

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"path/filepath"
+	"time"
+
+	"diagnet/internal/analysis"
+	"diagnet/internal/durable"
+	"diagnet/internal/tracing"
+)
+
+// uploadLog journals degraded-round diagnosis requests (the agent's
+// in-flight state) so a crash between "QoE degraded" and "diagnetd
+// answered" cannot lose the snapshot. Entries are appended before the
+// upload and acknowledged after a successful answer; a restarted agent
+// resubmits the unacknowledged backlog before its first probing round.
+type uploadLog struct {
+	q *durable.Queue
+}
+
+// openUploadLog opens the journal under stateDir/uploads.
+func openUploadLog(stateDir string) (*uploadLog, error) {
+	q, err := durable.OpenQueue(filepath.Join(stateDir, "uploads"), durable.Options{
+		SegmentBytes: 256 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &uploadLog{q: q}, nil
+}
+
+// append journals one request, returning its ack handle.
+func (l *uploadLog) append(req *analysis.DiagnoseRequest) (uint64, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	return l.q.Append(payload)
+}
+
+// ack marks a request as answered.
+func (l *uploadLog) ack(seq uint64) error { return l.q.Ack(seq) }
+
+// resubmit replays the unacknowledged backlog through the analysis
+// client. Requests that fail again (service still down, or the request
+// is no longer valid against the current model) stay journaled for the
+// next restart — except undecodable ones, which are dropped.
+func (l *uploadLog) resubmit(client *analysis.Client) {
+	pending := l.q.Pending()
+	if len(pending) == 0 {
+		return
+	}
+	ctx, span := tracing.StartSpan(context.Background(), "agent.resubmit")
+	span.SetAttr("pending", len(pending))
+	defer span.End()
+	slog.InfoContext(ctx, "resubmitting journaled diagnosis uploads", "pending", len(pending))
+	for _, item := range pending {
+		var req analysis.DiagnoseRequest
+		if err := json.Unmarshal(item.Payload, &req); err != nil {
+			slog.WarnContext(ctx, "dropping undecodable journaled upload", "seq", item.Seq, "err", err)
+			l.q.Ack(item.Seq)
+			continue
+		}
+		subCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		resp, err := client.Diagnose(subCtx, &req)
+		cancel()
+		if err != nil {
+			slog.WarnContext(ctx, "resubmit failed; keeping journaled", "seq", item.Seq, "err", err)
+			continue
+		}
+		slog.InfoContext(ctx, "recovered diagnosis", "seq", item.Seq, "family", resp.Family)
+		if err := l.q.Ack(item.Seq); err != nil {
+			slog.WarnContext(ctx, "recovered upload ack failed", "seq", item.Seq, "err", err)
+		}
+	}
+	// Shed the acked prefix so the journal stays proportional to the
+	// (bounded) backlog, not the agent's lifetime.
+	if err := l.q.Compact(); err != nil {
+		slog.WarnContext(ctx, "upload journal compaction failed", "err", err)
+	}
+}
+
+// close syncs and closes the journal.
+func (l *uploadLog) close() error { return l.q.Close() }

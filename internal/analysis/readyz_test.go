@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"diagnet/internal/serving"
+)
+
+// TestReadyzLifecycle pins the 503 → 204 → 503 readiness lifecycle: not
+// ready before recovery signals completion, ready while serving, not
+// ready again once the drain starts. /healthz stays 204 throughout —
+// liveness and readiness are different questions.
+func TestReadyzLifecycle(t *testing.T) {
+	m, _ := fixture(t)
+	engine := serving.New(serving.Config{})
+	if err := engine.Registry().AddModel("boot", m); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServerFromEngine(engine)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Phase 1: booted but recovery not yet signalled.
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("pre-recovery /readyz = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusNoContent {
+		t.Fatalf("pre-recovery /healthz = %d, want 204", got)
+	}
+
+	// Phase 2: recovery done, boot version promoted.
+	if err := engine.Registry().Promote("boot"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReady(true)
+	if got := status("/readyz"); got != http.StatusNoContent {
+		t.Fatalf("ready /readyz = %d, want 204", got)
+	}
+
+	// Phase 3: draining.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusNoContent {
+		t.Fatalf("draining /healthz = %d, want 204", got)
+	}
+}

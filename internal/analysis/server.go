@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"diagnet/internal/core"
 	"diagnet/internal/drift"
@@ -136,6 +137,12 @@ type Server struct {
 	// HTTP (versions can still be registered in-process).
 	ModelDir string
 
+	// ready gates GET /readyz: false until state recovery and the boot
+	// promotion finish, and again once Close starts draining. Liveness
+	// (/healthz) stays 204 throughout — the process is alive, just not
+	// ready for traffic.
+	ready atomic.Bool
+
 	mu    sync.Mutex // guards drift
 	drift *drift.Detector
 }
@@ -156,12 +163,16 @@ func NewServerWithConfig(general *core.Model, cfg serving.Config) *Server {
 		if err := s.engine.Registry().Promote("boot"); err != nil {
 			panic(fmt.Sprintf("analysis: boot model failed warm-up: %v", err))
 		}
+		s.SetReady(true)
 	}
 	return s
 }
 
 // NewServerFromEngine wraps an existing engine (whose registry the caller
-// has populated, e.g. from -model-dir). The server takes over Close.
+// has populated, e.g. from -model-dir). The server takes over Close. It
+// starts NOT ready: the caller signals SetReady(true) once state
+// recovery and the boot promotion are done — until then GET /readyz
+// answers 503 so load balancers hold traffic back.
 func NewServerFromEngine(e *serving.Engine) *Server {
 	return &Server{
 		engine: e,
@@ -169,12 +180,21 @@ func NewServerFromEngine(e *serving.Engine) *Server {
 	}
 }
 
+// SetReady flips the /readyz gate (true once recovery + boot promotion
+// are done; Close flips it back before draining).
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Ready reports the /readyz gate.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
 // Engine exposes the serving engine (registry access, stats).
 func (s *Server) Engine() *serving.Engine { return s.engine }
 
 // Close drains the serving engine: queued and in-flight diagnoses finish,
-// new submissions get ErrClosed.
+// new submissions get ErrClosed. /readyz flips to 503 before the drain
+// starts, so orchestrators stop routing while in-flight work finishes.
 func (s *Server) Close() error {
+	s.ready.Store(false)
 	ctx, cancel := context.WithTimeout(context.Background(), serving.DrainTimeout)
 	defer cancel()
 	return s.engine.Close(ctx)
@@ -218,7 +238,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	GET  /v1/metrics        → telemetry.Snapshot
 //	GET  /v1/traces         → kept-trace summaries (newest first)
 //	GET  /v1/traces/{id}    → one trace as a span tree
-//	GET  /healthz           → 204
+//	GET  /healthz           → 204 (liveness)
+//	GET  /readyz            → 204 ready / 503 recovering or draining
 //
 // Every /v1 route is instrumented with request/error counters and a
 // latency histogram; the aggregate is served by /v1/metrics itself.
@@ -235,6 +256,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/traces", instrument("traces", handleTraces))
 	mux.HandleFunc("/v1/traces/", instrument("trace", handleTraceByID))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	// Readiness is distinct from liveness: 503 until state recovery
+	// completes, 204 while serving, 503 again while draining. Kept out of
+	// the instrumented routes — probes fire every few seconds and would
+	// drown the request metrics.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	return recoverMiddleware(mux)

@@ -1,0 +1,80 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"diagnet/internal/durable"
+	"diagnet/internal/telemetry"
+)
+
+// mRecovered counts events replayed from the journal after a restart —
+// the "nothing buffered was lost" signal (DESIGN.md §13).
+var mRecovered = telemetry.Default().Counter("collector.recovered_events")
+
+// EventLog journals degradation events so buffered samples survive a
+// crash of the agent process: an event is journaled before it is handed
+// to the consumer, and acknowledged (Ack) only once the consumer is done
+// with it — a restart replays exactly the unacknowledged suffix.
+// Segments are bounded; Compact rewrites the backlog when the acked
+// prefix dominates.
+type EventLog struct {
+	q *durable.Queue
+}
+
+// OpenEventLog opens (creating if needed) an event journal in dir. The
+// recovered backlog is available via Recovered until the next Append.
+func OpenEventLog(dir string, policy durable.FsyncPolicy) (*EventLog, error) {
+	q, err := durable.OpenQueue(dir, durable.Options{
+		Fsync:        policy,
+		SegmentBytes: 256 << 10, // events are small; keep segments fine-grained
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := &EventLog{q: q}
+	mRecovered.Add(int64(q.Len()))
+	return l, nil
+}
+
+// Append journals one event and stamps its sequence number into ev.
+func (l *EventLog) Append(ev *Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	seq, err := l.q.Append(payload)
+	if err != nil {
+		return err
+	}
+	ev.Seq = seq
+	return nil
+}
+
+// Ack marks an event as consumed; acked events are never replayed.
+func (l *EventLog) Ack(seq uint64) error { return l.q.Ack(seq) }
+
+// Recovered returns the journaled-but-unacknowledged events in append
+// order — after a restart, the backlog a crash interrupted.
+func (l *EventLog) Recovered() ([]Event, error) {
+	items := l.q.Pending()
+	out := make([]Event, 0, len(items))
+	for _, it := range items {
+		var ev Event
+		if err := json.Unmarshal(it.Payload, &ev); err != nil {
+			return out, fmt.Errorf("collector: undecodable journaled event seq %d: %w", it.Seq, err)
+		}
+		ev.Seq = it.Seq
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Backlog returns the unacknowledged event count.
+func (l *EventLog) Backlog() int { return l.q.Len() }
+
+// Compact rewrites the journal down to the unacknowledged backlog.
+func (l *EventLog) Compact() error { return l.q.Compact() }
+
+// Close syncs and closes the journal.
+func (l *EventLog) Close() error { return l.q.Close() }

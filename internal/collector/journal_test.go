@@ -1,0 +1,152 @@
+package collector
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"diagnet/internal/durable"
+	"diagnet/internal/telemetry"
+)
+
+// degradedSource degrades on every tick in the set.
+type degradedSource struct{ degraded map[int64]bool }
+
+func (s degradedSource) Sample(tick int64) []float64 { return []float64{float64(tick), 1} }
+func (s degradedSource) Degraded(tick int64) bool    { return s.degraded[tick] }
+
+func TestEventLogAppendAckRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Tick: 4, Features: []float64{1, 2}, Anomalies: []int{0}},
+		{Tick: 9, Features: []float64{3, 4}},
+		{Tick: 12, Features: []float64{5, 6}, Anomalies: []int{1}},
+	}
+	for i := range events {
+		if err := l.Append(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Ack(events[1].Seq); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	before := telemetry.Default().Counter("collector.recovered_events").Value()
+	l2, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recovered, err := l2.Recovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 || recovered[0].Tick != 4 || recovered[1].Tick != 12 {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+	if recovered[0].Anomalies[0] != 0 || recovered[0].Features[1] != 2 {
+		t.Fatalf("event payload corrupted: %+v", recovered[0])
+	}
+	if got := telemetry.Default().Counter("collector.recovered_events").Value() - before; got != 2 {
+		t.Fatalf("recovered_events counter advanced by %d, want 2", got)
+	}
+}
+
+func TestEventLogCrashMidAppendKeepsAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := Event{Tick: 1, Features: []float64{1}}
+	if err := l.Append(&acked); err != nil {
+		t.Fatal(err)
+	}
+	durable.SetCrashPoint(durable.CrashMidAppend)
+	defer durable.ClearCrashPoint()
+	crashed := false
+	func() {
+		defer durable.RecoverCrash(&crashed)
+		torn := Event{Tick: 2, Features: []float64{2}}
+		l.Append(&torn)
+	}()
+	if !crashed {
+		t.Fatal("crash point did not fire")
+	}
+	l2, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recovered, err := l2.Recovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].Tick != 1 {
+		t.Fatalf("want only the fsync-acknowledged event, got %+v", recovered)
+	}
+}
+
+func TestAgentRunJournalsAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := degradedSource{degraded: map[int64]bool{2: true, 4: true}}
+	a := NewAgent(src, 2, Config{Log: l})
+	out := make(chan Event, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		a.Run(ctx, time.Millisecond, 0, out)
+		close(done)
+	}()
+	var got []Event
+	deadline := time.After(5 * time.Second)
+	for len(got) < 2 {
+		select {
+		case ev := <-out:
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatal("timed out waiting for events")
+		}
+	}
+	cancel()
+	<-done
+	l.Close()
+
+	// The consumer never acked: a "restarted" agent replays both events
+	// before probing resumes.
+	l2, err := OpenEventLog(dir, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	a2 := NewAgent(degradedSource{degraded: map[int64]bool{}}, 2, Config{Log: l2})
+	out2 := make(chan Event, 8)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go a2.Run(ctx2, time.Hour, 100, out2) // huge interval: only the replay emits
+	for i, want := range got {
+		select {
+		case ev := <-out2:
+			if ev.Tick != want.Tick {
+				t.Fatalf("replayed event %d tick = %d, want %d", i, ev.Tick, want.Tick)
+			}
+			if err := l2.Ack(ev.Seq); err != nil {
+				t.Fatalf("ack replayed event: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("replay did not emit")
+		}
+	}
+	if l2.Backlog() != 0 {
+		t.Fatalf("backlog %d after acking everything", l2.Backlog())
+	}
+}

@@ -1,0 +1,63 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJournalAppend prices an append under each fsync policy with a
+// typical lifecycle-record payload (~128 B). The batch/never variants are
+// the throughput ceiling the collector's event journal runs at; always is
+// what a registry promotion pays for its durability acknowledgement.
+func BenchmarkJournalAppend(b *testing.B) {
+	payload := make([]byte, 128)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, bc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"fsync=always", Options{Fsync: FsyncAlways}},
+		{"fsync=batch64", Options{Fsync: FsyncBatch, BatchAppends: 64}},
+		{"fsync=never", Options{Fsync: FsyncNever}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opt := bc.opt
+			opt.SegmentBytes = 64 << 20 // keep rotation out of the measurement
+			j, err := Open(b.TempDir(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointWrite prices a full checkpoint publish (write-temp,
+// fsync, rename, manifest) at a few snapshot sizes.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%dKiB", size>>10), func(b *testing.B) {
+			c, err := OpenCheckpointer(b.TempDir(), "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

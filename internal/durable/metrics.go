@@ -1,0 +1,15 @@
+package durable
+
+import "diagnet/internal/telemetry"
+
+// State-plane metrics (DESIGN.md §13): journal write/replay volume,
+// corruption repairs, and checkpoint generations. Shared process-wide
+// like every other layer's metrics; GET /v1/metrics exposes them.
+var (
+	mAppends     = telemetry.Default().Counter("durable.journal.appends")
+	mSyncs       = telemetry.Default().Counter("durable.journal.syncs")
+	mRotations   = telemetry.Default().Counter("durable.journal.rotations")
+	mReplayed    = telemetry.Default().Counter("durable.journal.replayed_records")
+	mTruncations = telemetry.Default().Counter("durable.journal.truncations")
+	mCheckpoints = telemetry.Default().Counter("durable.checkpoints.written")
+)

@@ -1,0 +1,118 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQueueAppendAckReplay(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for i := 0; i < 5; i++ {
+		seq, err := q.Append([]byte(fmt.Sprintf("item-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	// Ack 0, 2, 4; a restart must replay exactly 1 and 3, in order.
+	for _, i := range []int{0, 2, 4} {
+		if err := q.Ack(seqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+
+	q2, err := OpenQueue(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	pending := q2.Pending()
+	if len(pending) != 2 || string(pending[0].Payload) != "item-1" || string(pending[1].Payload) != "item-3" {
+		t.Fatalf("pending mismatch: %+v", pending)
+	}
+	// Sequence numbers keep ascending across the restart.
+	seq, err := q2.Append([]byte("item-5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= seqs[4] {
+		t.Fatalf("sequence went backwards: %d after %d", seq, seqs[4])
+	}
+}
+
+func TestQueueCrashMidAppendLosesOnlyThatItem(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Append([]byte("acked-append")); err != nil {
+		t.Fatal(err)
+	}
+	SetCrashPoint(CrashMidAppend)
+	defer ClearCrashPoint()
+	crashed := false
+	func() {
+		defer RecoverCrash(&crashed)
+		q.Append([]byte("torn"))
+	}()
+	if !crashed {
+		t.Fatal("crash point did not fire")
+	}
+	q2, err := OpenQueue(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	pending := q2.Pending()
+	if len(pending) != 1 || string(pending[0].Payload) != "acked-append" {
+		t.Fatalf("want the one acknowledged item, got %+v", pending)
+	}
+}
+
+func TestQueueCompactPreservesUnacked(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for i := 0; i < 20; i++ {
+		seq, err := q.Append([]byte(fmt.Sprintf("item-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	for _, s := range seqs[:18] {
+		if err := q.Ack(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := q.j.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments", len(segs))
+	}
+	q.Close()
+	q2, err := OpenQueue(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	pending := q2.Pending()
+	if len(pending) != 2 || string(pending[0].Payload) != "item-18" || string(pending[1].Payload) != "item-19" {
+		t.Fatalf("compaction corrupted pending set: %+v", pending)
+	}
+}

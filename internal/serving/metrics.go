@@ -16,4 +16,9 @@ var (
 	mPanics      = telemetry.Default().Counter("serving.worker.panics")
 	mSwaps       = telemetry.Default().Counter("serving.model.swaps")
 	mWarmups     = telemetry.Default().Counter("serving.model.warmups")
+
+	// State-plane recovery (DESIGN.md §13): lifecycle records replayed
+	// from the journal at boot, and successful active-version recoveries.
+	mStateReplayed  = telemetry.Default().Counter("serving.state.records_replayed")
+	mStateRecovered = telemetry.Default().Counter("serving.state.recovered")
 )

@@ -1,0 +1,272 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"diagnet/internal/core"
+	"diagnet/internal/durable"
+)
+
+// Persistence makes the registry's version lifecycle crash-safe
+// (DESIGN.md §13): every promotion, rollback and specialization is
+// journaled (write-ahead, CRC-checked) before it is acknowledged, and a
+// restarted diagnetd replays checkpoint + journal to recover the exact
+// serving version, promotion history and specialized-model set without
+// operator intervention.
+//
+// Model *weights* are not journaled — versions are re-registered from
+// their files (-model-dir) on boot. The exceptions are specialized
+// models installed at runtime, whose gob bytes are saved into the state
+// directory so a restart can reinstall them.
+type Persistence struct {
+	dir  string
+	j    *durable.Journal
+	ckpt *durable.Checkpointer
+
+	mu    sync.Mutex
+	state registryState // in-memory mirror of the journaled lifecycle
+}
+
+// registryState is the checkpoint payload: everything needed to restore
+// the lifecycle given the versions' model files.
+type registryState struct {
+	Active      string      `json:"active"`
+	History     []string    `json:"history"`
+	Specialized []specEntry `json:"specialized,omitempty"`
+}
+
+// specEntry maps one (version, service) to its saved model file.
+type specEntry struct {
+	Version string `json:"version"`
+	Service int    `json:"service"`
+	File    string `json:"file"`
+}
+
+// stateRecord is one journaled lifecycle operation.
+type stateRecord struct {
+	Op      string `json:"op"` // promote | rollback | specialize
+	Version string `json:"version,omitempty"`
+	Service int    `json:"service,omitempty"`
+	File    string `json:"file,omitempty"`
+}
+
+// OpenPersistence opens (creating if needed) the registry state plane
+// under dir: a journal in dir/journal and checkpoints in dir itself.
+func OpenPersistence(dir string, policy durable.FsyncPolicy) (*Persistence, error) {
+	j, err := durable.Open(filepath.Join(dir, "journal"), durable.Options{Fsync: policy})
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := durable.OpenCheckpointer(dir, "registry")
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Persistence{dir: dir, j: j, ckpt: ckpt}, nil
+}
+
+// Recover loads the checkpoint, folds the journal on top, and applies
+// the result to the registry: specialized models are reinstalled from
+// their saved files, the promotion history is restored, and the last
+// acknowledged active version is re-promoted (warm-up included). It
+// returns the recovered active version ("" when there is no state yet).
+//
+// Call after the registry's versions are registered (e.g. LoadDir) and
+// after AttachPersistence, but before the listener opens — recovery must
+// finish before the first request can observe a default promotion.
+func (p *Persistence) Recover(r *Registry) (string, error) {
+	p.mu.Lock()
+	if payload, _, err := p.ckpt.Load(); err == nil {
+		if err := json.Unmarshal(payload, &p.state); err != nil {
+			p.mu.Unlock()
+			return "", fmt.Errorf("serving: corrupt registry checkpoint: %w", err)
+		}
+	} else if err != durable.ErrNoCheckpoint {
+		p.mu.Unlock()
+		return "", err
+	}
+	err := p.j.Replay(func(rec []byte) error {
+		var sr stateRecord
+		if err := json.Unmarshal(rec, &sr); err != nil {
+			// The journal's CRC already vouched for the bytes; undecodable
+			// JSON means a version-skew record. Skip rather than refuse to
+			// boot.
+			slog.Warn("serving: skipping undecodable state record", "err", err)
+			return nil
+		}
+		p.applyLocked(&sr)
+		mStateReplayed.Inc()
+		return nil
+	})
+	state := p.state
+	p.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+
+	// Reinstall specialized models first so the active version's warm-up
+	// snapshot includes them.
+	for _, se := range state.Specialized {
+		m, err := loadSpecModel(filepath.Join(p.dir, se.File))
+		if err != nil {
+			slog.Warn("serving: recovered specialized model unreadable; skipping",
+				"version", se.Version, "service", se.Service, "err", err)
+			continue
+		}
+		if err := r.restoreSpecialized(se.Version, se.Service, m); err != nil {
+			slog.Warn("serving: specialized model for unregistered version; skipping",
+				"version", se.Version, "service", se.Service, "err", err)
+		}
+	}
+	if state.Active == "" {
+		return "", nil
+	}
+	if err := r.restoreState(state.History, state.Active); err != nil {
+		return "", fmt.Errorf("serving: re-promote recovered version %q: %w", state.Active, err)
+	}
+	mStateRecovered.Inc()
+	return state.Active, nil
+}
+
+// applyLocked folds one journal record into the state mirror, mirroring
+// the registry's own history rules. Caller holds p.mu.
+func (p *Persistence) applyLocked(sr *stateRecord) {
+	switch sr.Op {
+	case "promote":
+		if n := len(p.state.History); n == 0 || p.state.History[n-1] != sr.Version {
+			p.state.History = append(p.state.History, sr.Version)
+		}
+		p.state.Active = sr.Version
+	case "rollback":
+		if n := len(p.state.History); n >= 2 {
+			prev := p.state.History[n-2]
+			p.state.History = p.state.History[:n-2]
+			p.state.History = append(p.state.History, prev)
+			p.state.Active = prev
+		}
+	case "specialize":
+		for i := range p.state.Specialized {
+			if p.state.Specialized[i].Version == sr.Version && p.state.Specialized[i].Service == sr.Service {
+				p.state.Specialized[i].File = sr.File
+				return
+			}
+		}
+		p.state.Specialized = append(p.state.Specialized, specEntry{
+			Version: sr.Version, Service: sr.Service, File: sr.File,
+		})
+	}
+}
+
+// append journals one record and folds it into the mirror. The journal
+// append is the durability acknowledgement.
+func (p *Persistence) append(sr *stateRecord) error {
+	rec, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.j.Append(rec); err != nil {
+		return err
+	}
+	p.applyLocked(sr)
+	return nil
+}
+
+func (p *Persistence) recordPromote(version string) error {
+	return p.append(&stateRecord{Op: "promote", Version: version})
+}
+
+func (p *Persistence) recordRollback(to string) error {
+	return p.append(&stateRecord{Op: "rollback", Version: to})
+}
+
+// recordSpecialize saves the model's gob bytes atomically into the state
+// dir, then journals the installation. Saving first means a journaled
+// specialization always has its weights on disk.
+func (p *Persistence) recordSpecialize(version string, serviceID int, m *core.Model) error {
+	// Version names are caller-chosen; hex-encode for a safe file name.
+	file := fmt.Sprintf("spec-%s-%d.gob", hex.EncodeToString([]byte(version)), serviceID)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(p.dir, file), buf.Bytes()); err != nil {
+		return err
+	}
+	return p.append(&stateRecord{Op: "specialize", Version: version, Service: serviceID, File: file})
+}
+
+// Checkpoint publishes the state mirror as a new checkpoint generation
+// and compacts the journal to a fresh empty segment — the SIGHUP path,
+// and the post-recovery compaction at boot.
+func (p *Persistence) Checkpoint() (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	payload, err := json.Marshal(p.state)
+	if err != nil {
+		return 0, err
+	}
+	// Rotate first: records after the rotation point belong to the next
+	// checkpoint's journal suffix. The checkpoint captures everything
+	// before it, so older segments can go.
+	seg, err := p.j.Rotate()
+	if err != nil {
+		return 0, err
+	}
+	gen, err := p.ckpt.Write(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.j.DropBefore(seg); err != nil {
+		return gen, err
+	}
+	return gen, nil
+}
+
+// State returns a copy of the current lifecycle mirror (diagnostics).
+func (p *Persistence) State() (active string, history []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.Active, append([]string(nil), p.state.History...)
+}
+
+// Close syncs and closes the journal.
+func (p *Persistence) Close() error { return p.j.Close() }
+
+// loadSpecModel reads one saved specialized model.
+func loadSpecModel(path string) (*core.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Load(bytes.NewReader(data))
+}
+
+// atomicWrite publishes data at path via write-temp → fsync → rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

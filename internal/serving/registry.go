@@ -28,6 +28,7 @@ type Registry struct {
 	versions map[string]*core.Bundle
 	order    []string // insertion order, for stable listings
 	history  []string // promotion history; last entry is the active version
+	persist  *Persistence
 
 	cur atomic.Pointer[snapshot]
 }
@@ -107,11 +108,13 @@ func (r *Registry) AddModel(version string, m *core.Model) error {
 func (r *Registry) Promote(version string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.promoteLocked(version)
+	return r.promoteLocked(version, true)
 }
 
-// promoteLocked is Promote with r.mu held.
-func (r *Registry) promoteLocked(version string) error {
+// promoteLocked is Promote with r.mu held. record=false suppresses the
+// state journal (recovery replays, rollback — which journals its own
+// record).
+func (r *Registry) promoteLocked(version string, record bool) error {
 	b, ok := r.versions[version]
 	if !ok {
 		return fmt.Errorf("serving: unknown version %q", version)
@@ -120,11 +123,66 @@ func (r *Registry) promoteLocked(version string) error {
 	if err != nil {
 		return err
 	}
+	// WAL discipline: the journal acknowledges the promotion before the
+	// swap is visible. A crash between the two replays the promotion at
+	// recovery — harmless; the reverse order could acknowledge a
+	// promotion a restart forgets.
+	if record && r.persist != nil {
+		if err := r.persist.recordPromote(version); err != nil {
+			return fmt.Errorf("serving: journal promotion: %w", err)
+		}
+	}
 	r.cur.Store(snap)
 	if n := len(r.history); n == 0 || r.history[n-1] != version {
 		r.history = append(r.history, version)
 	}
 	mSwaps.Inc()
+	return nil
+}
+
+// History returns the promotion history, oldest first; the last entry is
+// the active version.
+func (r *Registry) History() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.history...)
+}
+
+// AttachPersistence wires a state log into the registry: every
+// subsequent promotion, rollback and specialization is journaled before
+// it is acknowledged. Attach before Recover so a restarted process
+// replays into the same log it then appends to.
+func (r *Registry) AttachPersistence(p *Persistence) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persist = p
+}
+
+// restoreState installs a recovered promotion history and re-promotes
+// the recovered active version without journaling (the journal already
+// says so).
+func (r *Registry) restoreState(history []string, active string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.history
+	r.history = append([]string(nil), history...)
+	if err := r.promoteLocked(active, false); err != nil {
+		r.history = old
+		return err
+	}
+	return nil
+}
+
+// restoreSpecialized reinstalls a recovered specialized model into a
+// registered (not yet promoted) version's bundle without journaling.
+func (r *Registry) restoreSpecialized(version string, serviceID int, m *core.Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.versions[version]
+	if !ok {
+		return fmt.Errorf("serving: unknown version %q", version)
+	}
+	b.Specialized[serviceID] = m
 	return nil
 }
 
@@ -138,8 +196,13 @@ func (r *Registry) Rollback() (string, error) {
 		return "", fmt.Errorf("serving: no previous version to roll back to")
 	}
 	prev := r.history[len(r.history)-2]
+	if r.persist != nil {
+		if err := r.persist.recordRollback(prev); err != nil {
+			return "", fmt.Errorf("serving: journal rollback: %w", err)
+		}
+	}
 	r.history = r.history[:len(r.history)-2]
-	if err := r.promoteLocked(prev); err != nil {
+	if err := r.promoteLocked(prev, false); err != nil {
 		return "", err
 	}
 	return prev, nil
@@ -168,6 +231,11 @@ func (r *Registry) SetSpecialized(serviceID int, m *core.Model) error {
 	snap, err := r.buildSnapshot(cur.version, nb)
 	if err != nil {
 		return err
+	}
+	if r.persist != nil {
+		if err := r.persist.recordSpecialize(cur.version, serviceID, m); err != nil {
+			return fmt.Errorf("serving: journal specialization: %w", err)
+		}
 	}
 	r.versions[cur.version] = nb
 	r.cur.Store(snap)
