@@ -1,0 +1,111 @@
+// Command diagnet-router fronts a fleet of diagnetd replicas with
+// health-aware routing, consistent-hash service affinity, tail-latency
+// hedging, scatter-gather batches and honored backpressure (DESIGN.md
+// §14).
+//
+// Usage:
+//
+//	diagnet-router -replicas 'http://10.0.0.1:8421,http://10.0.0.2:8421,http://10.0.0.3:8421'
+//	               [-addr :8420] [-hedge-after 0] [-affinity=true]
+//	               [-health-interval 500ms] [-attempt-timeout 30s]
+//	               [-log-format text|json] [-trace=true]
+//
+// API (proxied to the replicas):
+//
+//	POST /v1/diagnose        routed with service affinity + hedging
+//	POST /v1/diagnose-batch  scatter-gathered across ready replicas
+//	GET  /v1/model           proxied to the best-ranked replica
+//	GET  /v1/metrics         the router's own telemetry snapshot
+//	GET  /v1/replicas        per-replica health/breaker/load status
+//	GET  /healthz            liveness (204 while the process runs)
+//	GET  /readyz             readiness (503 until a replica is ready)
+//
+// -hedge-after 0 (the default) derives the hedging delay from the
+// observed attempt-latency p90; a fixed duration pins it; a negative
+// value disables hedging.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"diagnet/internal/cluster"
+	"diagnet/internal/tracing"
+)
+
+func main() {
+	addr := flag.String("addr", ":8420", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedging delay: 0 = adaptive (attempt-latency p90), <0 = hedging off")
+	affinity := flag.Bool("affinity", true, "consistent-hash service affinity (false = pure least-loaded)")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "replica /readyz sweep period")
+	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "per-replica attempt timeout")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	traceOn := flag.Bool("trace", true, "record route/attempt spans")
+	flag.Parse()
+
+	slog.SetDefault(tracing.NewLogger(os.Stderr, *logFormat))
+	tracing.SetEnabled(*traceOn)
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		slog.Error("no replicas: pass -replicas 'http://host:port,...'")
+		os.Exit(1)
+	}
+
+	rt := cluster.NewRouter(urls, cluster.Config{
+		HedgeAfter:     *hedgeAfter,
+		NoAffinity:     !*affinity,
+		HealthInterval: *healthInterval,
+		AttemptTimeout: *attemptTimeout,
+	})
+	defer rt.Close()
+	slog.Info("router pool built", "replicas", len(urls),
+		"hedge_after", *hedgeAfter, "affinity", *affinity)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		slog.Info("router listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		slog.Error("http server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		slog.Info("shutting down: draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			slog.Warn("forced shutdown", "err", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("http server failed", "err", err)
+			os.Exit(1)
+		}
+	}
+}

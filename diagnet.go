@@ -39,6 +39,7 @@ import (
 	"net/http"
 
 	"diagnet/internal/analysis"
+	"diagnet/internal/cluster"
 	"diagnet/internal/collector"
 	"diagnet/internal/core"
 	"diagnet/internal/dataset"
@@ -253,6 +254,28 @@ func NewServingEngine(cfg ServingConfig) *ServingEngine { return serving.New(cfg
 // engine as an HTTP diagnosis service.
 func NewAnalysisServerFromEngine(e *ServingEngine) *AnalysisServer {
 	return analysis.NewServerFromEngine(e)
+}
+
+// Replicated serving tier (DESIGN.md §14): cmd/diagnet-router fans
+// traffic across diagnetd replicas with health-aware routing,
+// consistent-hash service affinity, tail-latency hedging, scatter-gather
+// batches and honored backpressure.
+type (
+	// ClusterRouter routes client traffic across a replica pool; it is an
+	// http.Handler serving the same /v1 API as one replica.
+	ClusterRouter = cluster.Router
+	// ClusterConfig tunes routing, hedging, health sweeps and breakers.
+	ClusterConfig = cluster.Config
+	// ClusterStats is the router's hedging/failover/backpressure counters.
+	ClusterStats = cluster.Stats
+	// ClusterReplicaStatus is one replica's health/load snapshot.
+	ClusterReplicaStatus = cluster.ReplicaStatus
+)
+
+// NewClusterRouter fronts the given diagnetd replica base URLs; Close it
+// to stop the health sweeper.
+func NewClusterRouter(urls []string, cfg ClusterConfig) *ClusterRouter {
+	return cluster.NewRouter(urls, cfg)
 }
 
 // Client-agent types (the client box of Fig. 1).

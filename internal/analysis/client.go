@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -80,13 +81,35 @@ func (c *Client) do(ctx context.Context, method, path string, payload, out any) 
 		}()
 		if resp.StatusCode != http.StatusOK {
 			// The server's error text is the diagnosis: keep a bounded
-			// excerpt instead of discarding it.
+			// excerpt instead of discarding it. A Retry-After header (the
+			// server's shed-and-come-back advice on 429, set since the
+			// admission-control work) rides along so the retry loop sleeps
+			// the advertised delay instead of its generic backoff.
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
 			return fmt.Errorf("analysis: %s %s: %w", method, path,
-				&resilience.HTTPStatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(msg))})
+				&resilience.HTTPStatusError{
+					Code:       resp.StatusCode,
+					Msg:        strings.TrimSpace(string(msg)),
+					RetryAfter: ParseRetryAfter(resp.Header),
+				})
 		}
 		return json.NewDecoder(resp.Body).Decode(out)
 	})
+}
+
+// ParseRetryAfter reads a Retry-After header as whole seconds (the only
+// form this service emits; HTTP-date values are ignored). Absent,
+// malformed or non-positive values yield zero — "no advice".
+func ParseRetryAfter(h http.Header) time.Duration {
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Diagnose submits a measurement vector and returns the ranked causes.

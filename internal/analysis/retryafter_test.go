@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diagnet/internal/resilience"
+)
+
+// retryAfterServer answers 429 + Retry-After for the first n requests,
+// then serves a trivial diagnosis-shaped JSON body.
+func retryAfterServer(t *testing.T, n int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"family":"nominal"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// TestClientHonorsRetryAfter pins the 429 contract: the server has
+// advertised Retry-After whole seconds since the admission-control work,
+// and the client must sleep exactly that long (not its generic exponential
+// backoff) before the next attempt.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	srv, hits := retryAfterServer(t, 1, "3")
+	var slept []time.Duration
+	c := NewClient(srv.URL)
+	c.Retry = resilience.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    10 * time.Second,
+		Jitter:      -1, // negative clamps to 0: the schedule is exact
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if _, err := c.Diagnose(context.Background(), &DiagnoseRequest{}); err != nil {
+		t.Fatalf("Diagnose after 429: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one shed, one served)", got)
+	}
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Fatalf("slept %v, want exactly [3s] (the advertised Retry-After)", slept)
+	}
+}
+
+// TestClientCapsRetryAfter pins the cap: an absurd advertised delay is
+// clamped to the policy's MaxDelay instead of parking the client.
+func TestClientCapsRetryAfter(t *testing.T) {
+	srv, _ := retryAfterServer(t, 1, "3600")
+	var slept []time.Duration
+	c := NewClient(srv.URL)
+	c.Retry = resilience.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if _, err := c.Diagnose(context.Background(), &DiagnoseRequest{}); err != nil {
+		t.Fatalf("Diagnose after capped 429: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s] (MaxDelay cap)", slept)
+	}
+}
+
+// TestClientGenericBackoffWithoutRetryAfter pins the fallback: a 429
+// without advice still uses the policy's own schedule.
+func TestClientGenericBackoffWithoutRetryAfter(t *testing.T) {
+	srv, _ := retryAfterServer(t, 1, "")
+	var slept []time.Duration
+	c := NewClient(srv.URL)
+	c.Retry = resilience.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Jitter:      -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if _, err := c.Diagnose(context.Background(), &DiagnoseRequest{}); err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want exactly [50ms] (BaseDelay)", slept)
+	}
+}
+
+// TestParseRetryAfter pins the header parser's edges.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		val  string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"-4", 0},
+		{"2", 2 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"soon", 0},
+		{"1.5", 0}, // fractional seconds are not in the header grammar
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.val != "" {
+			h.Set("Retry-After", tc.val)
+		}
+		if got := ParseRetryAfter(h); got != tc.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.val, got, tc.want)
+		}
+	}
+}

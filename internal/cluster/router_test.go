@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"diagnet/internal/analysis"
+)
+
+// byAffinity returns the fake replicas in the order Ranked would emit
+// them for key (rendezvous hash, descending) — the test-side oracle for
+// which replica is the primary.
+func byAffinity(key string, reps []*fakeReplica) []*fakeReplica {
+	out := append([]*fakeReplica(nil), reps...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if rendezvous(key, out[j].url()) > rendezvous(key, out[i].url()) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// TestAffinityPinsService: same service → same replica, every time; a
+// different service may (and for some ID will) land elsewhere.
+func TestAffinityPinsService(t *testing.T) {
+	t.Parallel()
+	a := newFakeReplica(t, okDiagnose("a"))
+	b := newFakeReplica(t, okDiagnose("b"))
+	c := newFakeReplica(t, okDiagnose("c"))
+	reps := []*fakeReplica{a, b, c}
+	rt := newTestRouter(t, []string{a.url(), b.url(), c.url()}, Config{HedgeAfter: -1})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	body := func(svc int) []byte {
+		b, _ := json.Marshal(analysis.DiagnoseRequest{ServiceID: svc, Landmarks: []int{0}, Features: []float64{1}})
+		return b
+	}
+	want := byAffinity("svc:7", reps)[0]
+	for i := 0; i < 12; i++ {
+		status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose", body(7))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, out)
+		}
+	}
+	if got := want.hits.Load(); got != 12 {
+		t.Errorf("affinity target served %d/12 requests", got)
+	}
+	for _, r := range reps {
+		if r != want && r.hits.Load() != 0 {
+			t.Errorf("non-affine replica %s served %d requests", r.url(), r.hits.Load())
+		}
+	}
+
+	// Some service ID must hash to a different primary (rendezvous spreads
+	// keys); find one and check it actually lands there.
+	for svc := 0; svc < 64; svc++ {
+		other := byAffinity(fmt.Sprintf("svc:%d", svc), reps)[0]
+		if other == want {
+			continue
+		}
+		before := other.hits.Load()
+		if status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose", body(svc)); status != http.StatusOK {
+			t.Fatalf("svc %d: status %d: %s", svc, status, out)
+		}
+		if other.hits.Load() != before+1 {
+			t.Errorf("svc %d did not land on its rendezvous primary", svc)
+		}
+		return
+	}
+	t.Error("64 service IDs all hashed to the same primary — rendezvous is not spreading")
+}
+
+// TestBackpressureHonored: a 429ing replica is parked for its advertised
+// Retry-After — the request fails over once, and subsequent requests skip
+// the parked replica entirely instead of blindly retrying into it.
+func TestBackpressureHonored(t *testing.T) {
+	t.Parallel()
+	loaded := newFakeReplica(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}))
+	ok := newFakeReplica(t, okDiagnose("ok"))
+	rt := newTestRouter(t, []string{loaded.url(), ok.url()}, Config{HedgeAfter: -1})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	// Pick a service whose rendezvous primary is the loaded replica so the
+	// first attempt deterministically hits it.
+	svc := -1
+	for s := 0; s < 64; s++ {
+		if byAffinity(fmt.Sprintf("svc:%d", s), []*fakeReplica{loaded, ok})[0] == loaded {
+			svc = s
+			break
+		}
+	}
+	if svc < 0 {
+		t.Fatal("no service ID hashes to the loaded replica")
+	}
+	body, _ := json.Marshal(analysis.DiagnoseRequest{ServiceID: svc, Landmarks: []int{0}, Features: []float64{1}})
+
+	status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose", body)
+	if status != http.StatusOK {
+		t.Fatalf("failover request: status %d: %s", status, out)
+	}
+	if got := loaded.hits.Load(); got != 1 {
+		t.Fatalf("loaded replica hit %d times on first request, want 1", got)
+	}
+	if s := rt.Stats(); s.Backpressure != 1 {
+		t.Errorf("Backpressure = %d, want 1", s.Backpressure)
+	}
+
+	// The park must hold: five more requests, zero new hits on the loaded
+	// replica.
+	for i := 0; i < 5; i++ {
+		if status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose", body); status != http.StatusOK {
+			t.Fatalf("parked-window request %d: status %d: %s", i, status, out)
+		}
+	}
+	if got := loaded.hits.Load(); got != 1 {
+		t.Errorf("parked replica was retried: %d hits, want 1", got)
+	}
+	if got := ok.hits.Load(); got != 6 {
+		t.Errorf("healthy replica served %d requests, want 6", got)
+	}
+}
+
+// TestAllLoadedPropagates429: when every replica says 429, the client
+// gets the 429 (with its Retry-After advice) — each replica tried exactly
+// once, never hammered.
+func TestAllLoadedPropagates429(t *testing.T) {
+	t.Parallel()
+	shed := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}
+	a := newFakeReplica(t, http.HandlerFunc(shed))
+	b := newFakeReplica(t, http.HandlerFunc(shed))
+	rt := newTestRouter(t, []string{a.url(), b.url()}, Config{HedgeAfter: -1})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/diagnose", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After %q not propagated", got)
+	}
+	if a.hits.Load() != 1 || b.hits.Load() != 1 {
+		t.Errorf("hits a=%d b=%d, want exactly one each", a.hits.Load(), b.hits.Load())
+	}
+	if s := rt.Stats(); s.Backpressure != 2 {
+		t.Errorf("Backpressure = %d, want 2", s.Backpressure)
+	}
+}
+
+// TestFailoverOn5xx: a replica answering 500 is failed over transparently
+// and the outcome feeds its breaker.
+func TestFailoverOn5xx(t *testing.T) {
+	t.Parallel()
+	bad := newFakeReplica(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	good := newFakeReplica(t, okDiagnose("good"))
+	rt := newTestRouter(t, []string{bad.url(), good.url()}, Config{HedgeAfter: -1, NoAffinity: true})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	// Without affinity ranking is by load; run enough requests that the
+	// bad replica is certainly hit at least once, and every client call
+	// must still succeed.
+	body := diagnoseFake(t)
+	for i := 0; i < 10; i++ {
+		if status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose", body); status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, out)
+		}
+	}
+	if bad.hits.Load() == 0 {
+		t.Skip("load-ranked routing never chose the failing replica (legal, just unhelpful)")
+	}
+	if s := rt.Stats(); s.Failovers == 0 {
+		t.Errorf("Failovers = 0 after %d hits on a 500ing replica", bad.hits.Load())
+	}
+}
+
+// diagnoseFake is a minimal body fake replicas accept (they don't
+// validate).
+func diagnoseFake(t testing.TB) []byte {
+	t.Helper()
+	b, err := json.Marshal(analysis.DiagnoseRequest{ServiceID: 1, Landmarks: []int{0}, Features: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestScatterGatherMergesInOrder: a 20-request batch over two replicas
+// comes back as one in-order response, with both replicas doing a chunk.
+func TestScatterGatherMergesInOrder(t *testing.T) {
+	t.Parallel()
+	a := newFakeReplica(t, echoBatch("a"))
+	b := newFakeReplica(t, echoBatch("b"))
+	rt := newTestRouter(t, []string{a.url(), b.url()}, Config{HedgeAfter: -1, BatchChunk: 4})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	const n = 20
+	var req analysis.BatchRequest
+	for i := 0; i < n; i++ {
+		req.Requests = append(req.Requests, analysis.DiagnoseRequest{ServiceID: i, Landmarks: []int{0}, Features: []float64{1}})
+	}
+	body, _ := json.Marshal(&req)
+	status, out := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose-batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var resp analysis.BatchResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Responses) != n || len(resp.Errors) != n {
+		t.Fatalf("merged shape %d/%d, want %d/%d", len(resp.Responses), len(resp.Errors), n, n)
+	}
+	versions := map[string]int{}
+	for i, r := range resp.Responses {
+		if r == nil {
+			t.Fatalf("response %d is null", i)
+		}
+		if r.ModelService != i {
+			t.Errorf("response %d echoes request %d — merge order broken", i, r.ModelService)
+		}
+		versions[r.ModelVersion]++
+	}
+	if len(versions) != 2 {
+		t.Errorf("chunks served by %d replicas (%v), want both", len(versions), versions)
+	}
+	if a.hits.Load() == 0 || b.hits.Load() == 0 {
+		t.Errorf("scatter used one replica only: a=%d b=%d", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestBatchChunkFailureFailsWhole: if a chunk cannot be served by any
+// replica, the whole batch fails — no silent partial merges.
+func TestBatchChunkFailureFailsWhole(t *testing.T) {
+	t.Parallel()
+	boom := func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}
+	a := newFakeReplica(t, http.HandlerFunc(boom))
+	b := newFakeReplica(t, http.HandlerFunc(boom))
+	rt := newTestRouter(t, []string{a.url(), b.url()}, Config{HedgeAfter: -1})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	var req analysis.BatchRequest
+	for i := 0; i < 4; i++ {
+		req.Requests = append(req.Requests, analysis.DiagnoseRequest{Landmarks: []int{0}, Features: []float64{1}})
+	}
+	body, _ := json.Marshal(&req)
+	status, _ := postJSON(t, ts.Client(), ts.URL+"/v1/diagnose-batch", body)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want the chunk's 500 propagated", status)
+	}
+}
+
+// TestReadyzTracksPool: the router is ready iff at least one replica is.
+func TestReadyzTracksPool(t *testing.T) {
+	t.Parallel()
+	a := newFakeReplica(t, okDiagnose("a"))
+	rt := newTestRouter(t, []string{a.url()}, Config{HedgeAfter: -1, HealthInterval: 10 * time.Millisecond})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	get := func() int {
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get(); got != http.StatusNoContent {
+		t.Fatalf("ready router /readyz = %d", got)
+	}
+	a.ready.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for get() != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("router never went unready after its only replica did")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.ready.Store(true)
+	for get() != http.StatusNoContent {
+		if time.Now().After(deadline) {
+			t.Fatal("router never recovered readiness")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicasEndpoint: /v1/replicas reports per-replica status.
+func TestReplicasEndpoint(t *testing.T) {
+	t.Parallel()
+	a := newFakeReplica(t, okDiagnose("a"))
+	b := newFakeReplica(t, okDiagnose("b"))
+	rt := newTestRouter(t, []string{a.url(), b.url()}, Config{HedgeAfter: -1})
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []ReplicaStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d replicas reported, want 2", len(got))
+	}
+	for _, r := range got {
+		if !r.Healthy {
+			t.Errorf("replica %s reported unhealthy", r.Name)
+		}
+		if r.Breaker != "closed" {
+			t.Errorf("replica %s breaker %q, want closed", r.Name, r.Breaker)
+		}
+	}
+}

@@ -27,6 +27,11 @@ import (
 type HTTPStatusError struct {
 	Code int
 	Msg  string // bounded excerpt of the response body, may be empty
+	// RetryAfter is the server's advertised backoff (a parsed Retry-After
+	// header), zero when the server gave none. RetryPolicy honors it in
+	// place of the computed backoff, capped at MaxDelay — a loaded server
+	// knows its own drain rate better than the client's guess.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -181,6 +186,17 @@ func (p RetryPolicy) DoCount(ctx context.Context, op func(ctx context.Context) e
 		d := delay
 		if rng != nil {
 			d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+		}
+		// A server-advertised Retry-After overrides the computed backoff:
+		// the server is telling us when its queue will have drained, so
+		// neither jitter nor the exponential schedule applies — only the
+		// MaxDelay cap (a confused server must not park us for an hour).
+		var statusErr *HTTPStatusError
+		if errors.As(err, &statusErr) && statusErr.RetryAfter > 0 {
+			d = statusErr.RetryAfter
+			if d > p.MaxDelay {
+				d = p.MaxDelay
+			}
 		}
 		if sleepErr := p.Sleep(ctx, d); sleepErr != nil {
 			return fmt.Errorf("after %d attempts: %w (retry aborted: %w)", attempt, err, sleepErr), attempt

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -45,10 +46,11 @@ type Engine struct {
 	dispatcherWG sync.WaitGroup
 	workerWG     sync.WaitGroup
 
-	depth       atomic.Int64
-	served      atomic.Int64
-	shedFull    atomic.Int64
-	shedExpired atomic.Int64
+	depth        atomic.Int64
+	served       atomic.Int64
+	shedFull     atomic.Int64
+	shedExpired  atomic.Int64
+	shedCanceled atomic.Int64
 }
 
 // New starts an engine: the dispatcher and cfg.Workers workers spin up
@@ -80,11 +82,33 @@ func (e *Engine) Config() Config { return e.cfg }
 // Stats returns the admission counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Served:      e.served.Load(),
-		ShedFull:    e.shedFull.Load(),
-		ShedExpired: e.shedExpired.Load(),
-		QueueDepth:  int(e.depth.Load()),
+		Served:       e.served.Load(),
+		ShedFull:     e.shedFull.Load(),
+		ShedExpired:  e.shedExpired.Load(),
+		ShedCanceled: e.shedCanceled.Load(),
+		QueueDepth:   int(e.depth.Load()),
 	}
+}
+
+// shedDead settles an item whose context died while queued: the caller is
+// gone, so the item must not consume a batch slot or reach a model.
+// Cancellations and expired deadlines are counted apart — a hedging router
+// cancels its losing duplicate on every hedge, so canceled drops are the
+// normal currency of tail-latency hedging while expired ones signal real
+// overload. The dispatcher calls this while forming batches, which is what
+// keeps a canceled hedge loser from displacing a live request out of a
+// micro-batch.
+func (e *Engine) shedDead(it *item, err error) {
+	if errors.Is(err, context.Canceled) {
+		e.shedCanceled.Add(1)
+		mShedCanceled.Inc()
+	} else {
+		e.shedExpired.Add(1)
+		mShedExpired.Inc()
+	}
+	it.qspan.SetError(err)
+	it.qspan.End()
+	it.done <- outcome{err: err}
 }
 
 // Submit enqueues one request and waits for its result. Admission is
@@ -206,11 +230,22 @@ func (e *Engine) dispatch() {
 	// almost immediately.
 	fill := 1 / float64(e.cfg.BatchMax)
 	for {
-		first, ok := <-e.queue
-		if !ok {
-			return
+		// Pull the batch lead, settling abandoned items (canceled hedge
+		// losers, expired deadlines) on the spot: a dead item must not seed
+		// a batch, hold the adaptive-wait timer open, or occupy a slot.
+		var first *item
+		for first == nil {
+			it, ok := <-e.queue
+			if !ok {
+				return
+			}
+			e.depth.Add(-1)
+			if err := it.ctx.Err(); err != nil {
+				e.shedDead(it, err)
+				continue
+			}
+			first = it
 		}
-		e.depth.Add(-1)
 		start := time.Now()
 		batch := make([]*item, 1, e.cfg.BatchMax)
 		batch[0] = first
@@ -227,6 +262,10 @@ func (e *Engine) dispatch() {
 					break fillLoop
 				}
 				e.depth.Add(-1)
+				if err := it.ctx.Err(); err != nil {
+					e.shedDead(it, err)
+					continue
+				}
 				batch = append(batch, it)
 			case <-timer.C:
 				break fillLoop
@@ -266,14 +305,10 @@ func (e *Engine) worker(id int) {
 func (e *Engine) serveBatch(snap *snapshot, worker int, batch []*item) {
 	live := batch[:0]
 	for _, it := range batch {
-		// Deadline-aware shedding: a request that expired while queued is
-		// dropped here, before any model work happens.
+		// Deadline-aware shedding: a request that died between batch
+		// formation and pickup is dropped here, before any model work.
 		if err := it.ctx.Err(); err != nil {
-			e.shedExpired.Add(1)
-			mShedExpired.Inc()
-			it.qspan.SetError(err)
-			it.qspan.End()
-			it.done <- outcome{err: err}
+			e.shedDead(it, err)
 			continue
 		}
 		if snap == nil {

@@ -7,15 +7,16 @@ import "diagnet/internal/telemetry"
 // only atomic operations; GET /v1/metrics exposes them alongside the rest
 // of the registry.
 var (
-	mQueueDepth  = telemetry.Default().Gauge("serving.queue.depth")
-	mBatchSize   = telemetry.Default().Histogram("serving.batch.size", telemetry.SizeBuckets)
-	mBatchWaitMs = telemetry.Default().Histogram("serving.batch.wait_ms", nil)
-	mServed      = telemetry.Default().Counter("serving.requests.served")
-	mShedFull    = telemetry.Default().Counter("serving.shed.queue_full")
-	mShedExpired = telemetry.Default().Counter("serving.shed.expired")
-	mPanics      = telemetry.Default().Counter("serving.worker.panics")
-	mSwaps       = telemetry.Default().Counter("serving.model.swaps")
-	mWarmups     = telemetry.Default().Counter("serving.model.warmups")
+	mQueueDepth   = telemetry.Default().Gauge("serving.queue.depth")
+	mBatchSize    = telemetry.Default().Histogram("serving.batch.size", telemetry.SizeBuckets)
+	mBatchWaitMs  = telemetry.Default().Histogram("serving.batch.wait_ms", nil)
+	mServed       = telemetry.Default().Counter("serving.requests.served")
+	mShedFull     = telemetry.Default().Counter("serving.shed.queue_full")
+	mShedExpired  = telemetry.Default().Counter("serving.shed.expired")
+	mShedCanceled = telemetry.Default().Counter("serving.shed.canceled")
+	mPanics       = telemetry.Default().Counter("serving.worker.panics")
+	mSwaps        = telemetry.Default().Counter("serving.model.swaps")
+	mWarmups      = telemetry.Default().Counter("serving.model.warmups")
 
 	// State-plane recovery (DESIGN.md §13): lifecycle records replayed
 	// from the journal at boot, and successful active-version recoveries.

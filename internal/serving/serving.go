@@ -116,10 +116,17 @@ type Result struct {
 
 // Stats is a point-in-time view of the engine's admission counters.
 type Stats struct {
-	Served      int64 `json:"served"`
-	ShedFull    int64 `json:"shed_queue_full"`
+	Served   int64 `json:"served"`
+	ShedFull int64 `json:"shed_queue_full"`
+	// ShedExpired counts requests whose deadline ran out while queued —
+	// an overload symptom.
 	ShedExpired int64 `json:"shed_expired"`
-	QueueDepth  int   `json:"queue_depth"`
+	// ShedCanceled counts requests whose caller canceled while queued —
+	// the normal fate of a hedged duplicate whose twin answered first.
+	// Counted apart from ShedExpired so hedging does not masquerade as
+	// overload.
+	ShedCanceled int64 `json:"shed_canceled"`
+	QueueDepth   int   `json:"queue_depth"`
 }
 
 // ctxErr maps a context error, defaulting to ctx.Err().

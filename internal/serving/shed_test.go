@@ -68,8 +68,8 @@ func TestSubmitShedsOnFullQueue(t *testing.T) {
 }
 
 // TestExpiredRequestNeverReachesAWorker pins deadline-aware shedding: an
-// item whose context died while queued is dropped by the worker before any
-// model work, counted as shed, never as served.
+// item whose deadline ran out while queued is dropped before any model
+// work, counted as an expired shed, never as served.
 func TestExpiredRequestNeverReachesAWorker(t *testing.T) {
 	e := newEngine(t, Config{BatchMax: 4, BatchWait: time.Millisecond})
 	req := sampleRequest(t)
@@ -77,13 +77,13 @@ func TestExpiredRequestNeverReachesAWorker(t *testing.T) {
 
 	// White-box: enqueue an already-dead item directly, exactly what the
 	// queue holds after a caller's deadline fires while waiting.
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
 	it := &item{ctx: ctx, req: req, done: make(chan outcome, 1)}
 	e.queue <- it
 	out := <-it.done
-	if !errors.Is(out.err, context.Canceled) {
-		t.Fatalf("outcome err = %v, want context.Canceled", out.err)
+	if !errors.Is(out.err, context.DeadlineExceeded) {
+		t.Fatalf("outcome err = %v, want context.DeadlineExceeded", out.err)
 	}
 	if out.res != nil {
 		t.Fatal("expired request produced a diagnosis")
@@ -92,12 +92,69 @@ func TestExpiredRequestNeverReachesAWorker(t *testing.T) {
 	if after.ShedExpired-before.ShedExpired != 1 {
 		t.Fatalf("ShedExpired delta %d, want 1", after.ShedExpired-before.ShedExpired)
 	}
+	if after.ShedCanceled != before.ShedCanceled {
+		t.Fatalf("an expired deadline must not count as canceled (delta %d)",
+			after.ShedCanceled-before.ShedCanceled)
+	}
 	if after.Served != before.Served {
 		t.Fatalf("Served moved %d -> %d for an expired request", before.Served, after.Served)
 	}
 	// An expired context is also rejected at the door.
-	if _, err := e.Submit(ctx, req); !errors.Is(err, context.Canceled) {
+	if _, err := e.Submit(ctx, req); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Submit with dead ctx = %v", err)
+	}
+}
+
+// TestCanceledHedgeLoserFreesBatchSlot pins the hedging contract on the
+// engine (DESIGN.md §14): a request canceled while queued — the losing
+// duplicate of a tail-latency hedge — is settled by the dispatcher during
+// batch formation, counted under ShedCanceled (not ShedExpired, not
+// Served), and its BatchMax slot goes to a live request instead.
+func TestCanceledHedgeLoserFreesBatchSlot(t *testing.T) {
+	// BatchWait is deliberately huge: with BatchMax=2, the only way the
+	// batch flushes promptly is by filling both slots with live items. If
+	// the canceled loser consumed a slot, the second live request would sit
+	// out a 30s wait in the next batch and the test would time out below.
+	e := newEngine(t, Config{BatchMax: 2, BatchWait: 30 * time.Second, Workers: 1})
+	req := sampleRequest(t)
+	before := e.Stats()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	loser := &item{ctx: canceled, req: req, done: make(chan outcome, 1)}
+	liveA := &item{ctx: context.Background(), req: req, done: make(chan outcome, 1)}
+	liveB := &item{ctx: context.Background(), req: req, done: make(chan outcome, 1)}
+	// Queue order: the dead hedge loser first, so it would both seed the
+	// batch and take a slot if the dispatcher did not settle it.
+	e.queue <- loser
+	e.queue <- liveA
+	e.queue <- liveB
+
+	out := <-loser.done
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("loser outcome = %v, want context.Canceled", out.err)
+	}
+	deadline := time.After(5 * time.Second)
+	for _, it := range []*item{liveA, liveB} {
+		select {
+		case out := <-it.done:
+			if out.err != nil || out.res == nil {
+				t.Fatalf("live request failed: %v", out.err)
+			}
+		case <-deadline:
+			t.Fatal("live request starved: the canceled loser consumed its batch slot")
+		}
+	}
+	after := e.Stats()
+	if d := after.ShedCanceled - before.ShedCanceled; d != 1 {
+		t.Fatalf("ShedCanceled delta %d, want 1", d)
+	}
+	if after.ShedExpired != before.ShedExpired {
+		t.Fatalf("canceled loser leaked into ShedExpired (delta %d)",
+			after.ShedExpired-before.ShedExpired)
+	}
+	if d := after.Served - before.Served; d != 2 {
+		t.Fatalf("Served delta %d, want exactly the 2 live requests", d)
 	}
 }
 
