@@ -7,6 +7,7 @@
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
 //	         [-model-dir models/ [-serve-version v2]]
 //	         [-state-dir state/ [-fsync always|batch|never]]
+//	         [-continual [-retrain-interval 1h] [-shadow-fraction 0.05] [-promote-min-gain 0]]
 //	         [-batch-max 32] [-batch-wait 2ms] [-queue-depth 256] [-workers 0]
 //	         [-pprof 127.0.0.1:6060] [-log-format text|json]
 //	         [-trace=true] [-trace-sample 1.0] [-trace-slow 250ms]
@@ -14,6 +15,9 @@
 // API:
 //
 //	POST /v1/diagnose    {"service_id":0,"landmarks":[0,1,...],"features":[...]}
+//	GET  /v1/continual   continual-learning loop status (404 unless -continual)
+//	POST /v1/continual/retrain   trigger a retrain cycle now
+//	POST /v1/continual/samples   ingest ground-truth labeled feedback
 //	GET  /v1/model
 //	GET  /v1/models      registered model versions and the active one
 //	POST /v1/models      {"action":"load|promote|rollback", ...} rollout admin
@@ -47,6 +51,17 @@
 // loss window, never = page cache only). SIGHUP forces an immediate
 // checkpoint + journal segment rotation.
 //
+// Continual learning: -continual closes the loop described in DESIGN.md
+// §15 — every served diagnosis is buffered as a pseudo-labeled training
+// sample, drift signals (or -retrain-interval, or POST
+// /v1/continual/retrain) trigger a background retrain warm-started from
+// the active model, the candidate shadows -shadow-fraction of live
+// traffic, and a gated promotion (-promote-min-gain on labeled holdout
+// accuracy) hot-swaps it in under a regression watchdog that
+// auto-rolls-back. With -state-dir, the sample buffer, trainer epoch
+// checkpoints and the loop's transition history live under
+// <state-dir>/continual and survive restarts.
+//
 // -pprof serves net/http/pprof on a separate listener (keep it on a
 // loopback or otherwise private address; it is intentionally not exposed
 // on the public API port).
@@ -56,17 +71,20 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof only
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"diagnet"
 	"diagnet/internal/analysis"
+	"diagnet/internal/continual"
 	"diagnet/internal/durable"
 	"diagnet/internal/serving"
 	"diagnet/internal/tracing"
@@ -96,6 +114,10 @@ func main() {
 	traceOn := flag.Bool("trace", true, "record request traces (GET /v1/traces)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for normal traces in [0,1]; slow and error traces are always kept")
 	traceSlow := flag.Duration("trace-slow", 0, "latency above which a trace is always kept (0 = default 250ms)")
+	continualOn := flag.Bool("continual", false, "close the learning loop: buffer live samples, retrain on drift, shadow-evaluate and gate-promote candidates")
+	retrainInterval := flag.Duration("retrain-interval", 0, "also retrain on this timer (0 = drift and manual triggers only)")
+	shadowFraction := flag.Float64("shadow-fraction", 0.05, "fraction of live traffic teed through a shadowing candidate")
+	promoteMinGain := flag.Float64("promote-min-gain", 0, "required labeled-holdout accuracy gain (candidate − incumbent) before promotion; negative permits regressions")
 	flag.Parse()
 
 	slog.SetDefault(tracing.NewLogger(os.Stderr, *logFormat))
@@ -203,6 +225,73 @@ func main() {
 		}
 	}
 
+	// Continual learning: sample buffer → trainer → shadow gate →
+	// promotion, all state under <state-dir>/continual when one is set
+	// (memory-only otherwise — useful for ephemeral replicas, but a
+	// restart forgets the buffer and the cycle history).
+	var ctrl *continual.Controller
+	var sampleStore *continual.SampleStore
+	if *continualOn {
+		policy := durable.FsyncBatch
+		var sampleDir, ckptDir, loopDir string
+		if *stateDir != "" {
+			p, err := durable.ParseFsyncPolicy(*fsyncMode)
+			if err != nil {
+				fatal("bad -fsync", "err", err)
+			}
+			policy = p
+			base := filepath.Join(*stateDir, "continual")
+			sampleDir = filepath.Join(base, "samples")
+			ckptDir = filepath.Join(base, "ckpt")
+			loopDir = filepath.Join(base, "state")
+		}
+		var err error
+		sampleStore, err = continual.OpenStore(continual.StoreConfig{Dir: sampleDir, Fsync: policy})
+		if err != nil {
+			fatal("continual sample store open failed", "err", err)
+		}
+		// The trainer reads serving pressure from the admission queue and
+		// pauses between epochs while the plane is overloaded: retraining
+		// must never cost live traffic its latency budget.
+		depth := engine.Config().QueueDepth
+		trainer, err := continual.NewTrainer(continual.TrainerConfig{
+			CheckpointDir: ckptDir,
+			Load: func() float64 {
+				if depth <= 0 {
+					return 0
+				}
+				return float64(engine.Stats().QueueDepth) / float64(depth)
+			},
+			Logf: func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
+		})
+		if err != nil {
+			fatal("continual trainer init failed", "err", err)
+		}
+		ctrl, err = continual.NewController(continual.Config{
+			Engine:          engine,
+			Store:           sampleStore,
+			Trainer:         trainer,
+			Gate:            continual.GateConfig{MinGain: *promoteMinGain},
+			ShadowFraction:  *shadowFraction,
+			RetrainInterval: *retrainInterval,
+			DriftStatus:     srv.DriftStatus,
+			ResetDrift:      srv.ResetDrift,
+			StateDir:        loopDir,
+			Fsync:           policy,
+		})
+		if err != nil {
+			fatal("continual controller init failed", "err", err)
+		}
+		// Freeze the drift reference once a full window of boot-model
+		// diagnoses accumulates; its Drifted signal is the loop's trigger.
+		srv.ResetDrift()
+		ctrl.Start()
+		srv.AttachContinual(ctrl)
+		slog.Info("continual learning enabled",
+			"retrain_interval", *retrainInterval, "shadow_fraction", *shadowFraction,
+			"promote_min_gain", *promoteMinGain, "state", loopDir != "")
+	}
+
 	if *pprofAddr != "" {
 		go func() {
 			slog.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
@@ -268,8 +357,21 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			slog.Warn("forced shutdown", "err", err)
 		}
+		if ctrl != nil {
+			// Stop the loop before the engine drain: an in-flight retrain is
+			// canceled (its epoch checkpoint resumes it next boot) and no new
+			// shadow tee can start against a draining engine.
+			if err := ctrl.Close(); err != nil {
+				slog.Warn("continual controller close", "err", err)
+			}
+		}
 		if err := srv.Close(); err != nil {
 			slog.Warn("engine drain", "err", err)
+		}
+		if sampleStore != nil {
+			if err := sampleStore.Close(); err != nil {
+				slog.Warn("continual sample store close", "err", err)
+			}
 		}
 		if persist != nil {
 			if err := persist.Close(); err != nil {

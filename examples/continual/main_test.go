@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the continual-learning example end to end on a shrunk
+// configuration: buffer, trigger, retrain, shadow, promote, watch.
+func TestRunSmoke(t *testing.T) {
+	nominalSamples, faultSamples = 150, 400
+	filters, hidden, epochs = 4, []int{16, 8}, 2
+	retrainEpochs, shadowMin = 1, 32
+
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"serving version \"boot\"",
+		"-> training",
+		"-> shadowing",
+		"-> promoting",
+		"watch window passed clean",
+		"serving version \"retrain-000001\"",
+		"diagnosis from \"retrain-000001\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

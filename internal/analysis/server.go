@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"diagnet/internal/continual"
 	"diagnet/internal/core"
 	"diagnet/internal/drift"
 	"diagnet/internal/probe"
@@ -145,6 +146,11 @@ type Server struct {
 
 	mu    sync.Mutex // guards drift
 	drift *drift.Detector
+
+	// loop, when set via AttachContinual, receives every served diagnosis
+	// (pseudo-labeled sample + watchdog observation) and backs the
+	// /v1/continual control surface.
+	loop atomic.Pointer[continual.Controller]
 }
 
 // NewServer wraps a general model in a default-configured serving engine,
@@ -235,6 +241,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	GET  /v1/model          → ModelInfo
 //	GET  /v1/models         → model registry listing (admin)
 //	POST /v1/models         → load / promote / rollback (admin)
+//	GET  /v1/continual      → continual-learning loop status (404 when disabled)
+//	POST /v1/continual/retrain → trigger a retrain cycle
+//	POST /v1/continual/samples → ingest labeled feedback samples
 //	GET  /v1/metrics        → telemetry.Snapshot
 //	GET  /v1/traces         → kept-trace summaries (newest first)
 //	GET  /v1/traces/{id}    → one trace as a span tree
@@ -252,6 +261,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/drift", instrument("drift", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.DriftStatus())
 	}))
+	mux.HandleFunc("/v1/continual", instrument("continual", s.handleContinual))
+	mux.HandleFunc("/v1/continual/retrain", instrument("continual_retrain", s.handleContinualRetrain))
+	mux.HandleFunc("/v1/continual/samples", instrument("continual_samples", s.handleContinualSamples))
 	mux.HandleFunc("/v1/metrics", instrument("metrics", handleMetrics))
 	mux.HandleFunc("/v1/traces", instrument("traces", handleTraces))
 	mux.HandleFunc("/v1/traces/", instrument("trace", handleTraceByID))
@@ -413,6 +425,9 @@ func (s *Server) diagnose(ctx context.Context, req *DiagnoseRequest, blocking bo
 	s.mu.Lock()
 	s.drift.Observe(diag.Coarse)
 	s.mu.Unlock()
+	if ctrl := s.loop.Load(); ctrl != nil {
+		s.feedContinual(ctrl, req, diag)
+	}
 
 	resp := &DiagnoseResponse{
 		Family:        diag.Family.String(),

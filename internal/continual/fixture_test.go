@@ -1,0 +1,63 @@
+package continual
+
+import (
+	"sync"
+	"testing"
+
+	"diagnet/internal/core"
+	"diagnet/internal/dataset"
+	"diagnet/internal/forest"
+	"diagnet/internal/netsim"
+)
+
+var (
+	fixOnce  sync.Once
+	fixModel *core.Model
+	fixData  *dataset.Dataset
+)
+
+// fixture trains one tiny general model shared by the package's tests.
+func fixture(t testing.TB) (*core.Model, *dataset.Dataset) {
+	t.Helper()
+	fixOnce.Do(func() {
+		w := netsim.NewWorld(netsim.Config{Seed: 1})
+		d := dataset.Generate(dataset.GenConfig{
+			World:          w,
+			NominalSamples: 120,
+			FaultSamples:   320,
+			Seed:           17,
+		})
+		cfg := core.DefaultConfig()
+		cfg.Epochs, cfg.SpecializeEpochs = 2, 1
+		cfg.Filters, cfg.Hidden = 4, []int{16, 8}
+		cfg.Forest = forest.Config{Trees: 5, Tree: forest.TreeConfig{MaxDepth: 4}}
+		known := []int{netsim.BEAU, netsim.AMST, netsim.SING, netsim.LOND, netsim.FRNK, netsim.TOKY, netsim.SYDN}
+		fixModel = core.TrainGeneral(d, known, cfg).Model
+		fixData = d
+	})
+	return fixModel, fixData
+}
+
+// storeFromDataset fills a SampleStore with a dataset's samples (labeled),
+// expressed under the dataset's own layout.
+func storeFromDataset(t testing.TB, d *dataset.Dataset, labeled bool, perStratum int) *SampleStore {
+	t.Helper()
+	s, err := OpenStore(StoreConfig{PerStratum: perStratum, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Samples {
+		smp := &d.Samples[i]
+		if err := s.Ingest(Sample{
+			Service:   smp.Service,
+			Landmarks: d.Layout.Landmarks,
+			Features:  smp.Features,
+			Family:    int(smp.Family),
+			Cause:     smp.Cause,
+			Labeled:   labeled,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}

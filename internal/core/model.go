@@ -98,7 +98,7 @@ func TrainGeneral(train *dataset.Dataset, knownRegions []int, cfg Config) *Train
 	// Coarse classifier.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m.Net = buildNet(cfg, rng)
-	hist := m.fitCoarse(train, cfg.Epochs, cfg.Patience, cfg.Seed)
+	hist := m.fitCoarse(train, nn.TrainConfig{Epochs: cfg.Epochs, Patience: cfg.Patience, Seed: cfg.Seed})
 
 	// Auxiliary forest on zero-filled full-layout features.
 	m.Aux = fitAux(train, known, cfg)
@@ -113,8 +113,12 @@ func TrainGeneral(train *dataset.Dataset, knownRegions []int, cfg Config) *Train
 // which is what lets it absorb landmarks that only appear after training.
 // Samples whose root-cause landmark is dropped from a view are relabeled
 // nominal in that view (their anomaly is no longer observable).
-func (m *Model) fitCoarse(train *dataset.Dataset, epochs, patience int, seed int64) *nn.History {
+//
+// tc carries the epoch budget, patience, seed and optional per-epoch hook;
+// the batch size defaults to the model config's.
+func (m *Model) fitCoarse(train *dataset.Dataset, tc nn.TrainConfig) *nn.History {
 	cfg := m.Cfg
+	seed := tc.Seed
 	knownRegions := m.TrainLayout.Landmarks
 	full := m.FullLayout
 	order := rand.New(rand.NewSource(seed + 7)).Perm(train.Len())
@@ -128,7 +132,9 @@ func (m *Model) fitCoarse(train *dataset.Dataset, epochs, patience int, seed int
 			s := &train.Samples[r]
 			copy(x.Row(i), m.Norm.Apply(full.Project(s.Features, layout), layout))
 			labels[i] = int(s.Family)
-			if s.Degraded && !full.IsLocal(s.Cause) {
+			// Live-ingested samples may carry a family label without a
+			// cause index (Cause = -1); they keep their label in every view.
+			if s.Degraded && s.Cause >= 0 && !full.IsLocal(s.Cause) {
 				region := full.Landmarks[s.Cause/int(probe.NumMetrics)]
 				if layout.LandmarkPos(region) < 0 {
 					labels[i] = int(probe.FamNominal)
@@ -156,9 +162,10 @@ func (m *Model) fitCoarse(train *dataset.Dataset, epochs, patience int, seed int
 	trainer := nn.NewTrainer(m.Net)
 	trainer.Opt = buildOptimizer(cfg)
 	trainer.ClassWeights = balancedWeights(groups[0].Labels, int(probe.NumFamilies))
-	return trainer.FitGroups(groups, val.X, val.Labels, nn.TrainConfig{
-		Epochs: epochs, BatchSize: cfg.BatchSize, Patience: patience, Seed: seed,
-	})
+	if tc.BatchSize <= 0 {
+		tc.BatchSize = cfg.BatchSize
+	}
+	return trainer.FitGroups(groups, val.X, val.Labels, tc)
 }
 
 // fitAux trains the extensible random forest (§IV-B-a) used both as the
@@ -245,8 +252,28 @@ func (m *Model) Specialize(train *dataset.Dataset, serviceID int) *TrainResult {
 	}
 	// Freeze everything except the final layers: LandPool (kernel+bias)
 	// and the first Dense block stay fixed.
+	freezeShared(spec.Net)
+
+	// Fine-tune on the service's own samples plus an equally sized slice
+	// of the other services' samples. The mix-in regularizes the final
+	// layers: a service that never met a remote fault in training must not
+	// unlearn the general model's remote fault families (it may still meet
+	// them after deployment — the hidden-landmark evaluation does exactly
+	// that).
+	mixin := train.FilterOtherServices(serviceID).SampleN(svcData.Len(), m.Cfg.Seed+int64(serviceID))
+	hist := spec.fitCoarse(svcData.Concat(mixin), nn.TrainConfig{
+		Epochs: m.Cfg.SpecializeEpochs, Patience: 2, Seed: m.Cfg.Seed + int64(serviceID),
+	})
+	return &TrainResult{Model: spec, History: hist}
+}
+
+// freezeShared marks the shared feature extractor — the LandPooling
+// kernel and the first fully connected block — frozen, the paper's
+// service-specialization scheme (§IV-F): only the final layers remain
+// trainable.
+func freezeShared(net *nn.Network) {
 	frozen := 0
-	for _, l := range spec.Net.Layers {
+	for _, l := range net.Layers {
 		switch l.(type) {
 		case *nn.LandPool:
 			for _, p := range l.Params() {
@@ -262,16 +289,6 @@ func (m *Model) Specialize(train *dataset.Dataset, serviceID int) *TrainResult {
 			}
 		}
 	}
-
-	// Fine-tune on the service's own samples plus an equally sized slice
-	// of the other services' samples. The mix-in regularizes the final
-	// layers: a service that never met a remote fault in training must not
-	// unlearn the general model's remote fault families (it may still meet
-	// them after deployment — the hidden-landmark evaluation does exactly
-	// that).
-	mixin := train.FilterOtherServices(serviceID).SampleN(svcData.Len(), m.Cfg.Seed+int64(serviceID))
-	hist := spec.fitCoarse(svcData.Concat(mixin), m.Cfg.SpecializeEpochs, 2, m.Cfg.Seed+int64(serviceID))
-	return &TrainResult{Model: spec, History: hist}
 }
 
 // ParamCount returns (total, trainable) scalar parameters of the coarse

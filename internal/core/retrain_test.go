@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"diagnet/internal/dataset"
+	"diagnet/internal/forest"
+	"diagnet/internal/netsim"
+	"diagnet/internal/nn"
+)
+
+// retrainFixture trains a tiny general model and returns it with its
+// training set.
+func retrainFixture(t *testing.T) (*Model, *dataset.Dataset) {
+	t.Helper()
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	d := dataset.Generate(dataset.GenConfig{
+		World:          w,
+		NominalSamples: 80,
+		FaultSamples:   220,
+		Seed:           5,
+	})
+	cfg := DefaultConfig()
+	cfg.Epochs, cfg.SpecializeEpochs = 2, 2
+	cfg.Filters, cfg.Hidden = 4, []int{16, 8}
+	cfg.Forest = forest.Config{Trees: 5, Tree: forest.TreeConfig{MaxDepth: 4}}
+	known := []int{netsim.BEAU, netsim.AMST, netsim.SING, netsim.LOND, netsim.FRNK, netsim.TOKY, netsim.SYDN}
+	return TrainGeneral(d, known, cfg).Model, d
+}
+
+// snapshotParams copies every parameter matrix of the network.
+func snapshotParams(net *nn.Network) [][]float64 {
+	var out [][]float64
+	for _, p := range net.Params() {
+		out = append(out, append([]float64(nil), p.Value.Data...))
+	}
+	return out
+}
+
+func changed(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRetrainWarmStart checks Retrain returns a new model that shares the
+// immutable pieces (normalizer, forest, layouts) and leaves the receiver's
+// weights untouched.
+func TestRetrainWarmStart(t *testing.T) {
+	m, d := retrainFixture(t)
+	before := snapshotParams(m.Net)
+	res, err := m.Retrain(d, RetrainOptions{Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := res.Model
+	if next == m || next.Net == m.Net {
+		t.Fatal("Retrain mutated the receiver")
+	}
+	if next.Aux != m.Aux || next.Norm != m.Norm {
+		t.Fatal("Retrain did not share the auxiliary forest / normalizer")
+	}
+	after := snapshotParams(m.Net)
+	for i := range before {
+		if changed(before[i], after[i]) {
+			t.Fatalf("receiver param %d changed during Retrain", i)
+		}
+	}
+	if res.History.Epochs() != 1 {
+		t.Fatalf("ran %d epochs, want 1", res.History.Epochs())
+	}
+}
+
+// TestRetrainHeadOnly pins the paper's specialization scheme on the
+// retrain path: with HeadOnly the LandPool kernel and first Dense block
+// stay bit-identical while at least one later layer moves.
+func TestRetrainHeadOnly(t *testing.T) {
+	m, d := retrainFixture(t)
+	res, err := m.Retrain(d, RetrainOptions{Epochs: 1, Seed: 7, HeadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, next := m.Net.Params(), res.Model.Net.Params()
+	if len(base) != len(next) {
+		t.Fatalf("param count changed: %d vs %d", len(base), len(next))
+	}
+	// LandPool contributes the first 2 params, the first Dense the next 2.
+	movedTail := false
+	for i := range base {
+		moved := changed(base[i].Value.Data, next[i].Value.Data)
+		if i < 4 && moved {
+			t.Fatalf("frozen shared param %d moved under HeadOnly", i)
+		}
+		if i >= 4 && moved {
+			movedTail = true
+		}
+	}
+	if !movedTail {
+		t.Fatal("no head parameter moved — retrain did nothing")
+	}
+}
+
+// TestRetrainOnEpochStop checks the hook can stop a retrain early.
+func TestRetrainOnEpochStop(t *testing.T) {
+	m, d := retrainFixture(t)
+	var calls int
+	res, err := m.Retrain(d, RetrainOptions{Epochs: 5, Seed: 9, OnEpoch: func(epoch int, h *nn.History) bool {
+		calls++
+		return false
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || res.History.Epochs() != 1 {
+		t.Fatalf("hook calls %d, epochs %d; want 1, 1", calls, res.History.Epochs())
+	}
+}
+
+// TestRetrainRejectsBadInput covers the error paths.
+func TestRetrainRejectsBadInput(t *testing.T) {
+	m, d := retrainFixture(t)
+	if _, err := m.Retrain(&dataset.Dataset{Layout: d.Layout}, RetrainOptions{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	bad := &dataset.Dataset{Layout: m.TrainLayout} // narrower than the full layout
+	bad.Append(dataset.Sample{Features: make([]float64, m.TrainLayout.NumFeatures()), Cause: -1})
+	if _, err := m.Retrain(bad, RetrainOptions{}); err == nil {
+		t.Fatal("mismatched layout accepted")
+	}
+}

@@ -347,6 +347,13 @@ func (d *Dataset) SampleN(n int, seed int64) *Dataset {
 	return out
 }
 
+// Append adds one sample in place. Together with the streaming writer
+// (stream.go) it lets a live sample buffer emit training sets
+// incrementally instead of materializing intermediate copies.
+func (d *Dataset) Append(s Sample) {
+	d.Samples = append(d.Samples, s)
+}
+
 // Concat returns a dataset containing the samples of d followed by e's.
 func (d *Dataset) Concat(e *Dataset) *Dataset {
 	out := &Dataset{Layout: d.Layout}

@@ -24,15 +24,21 @@ func (d *Dataset) ExportCSV(w io.Writer) error {
 	for i := range d.Samples {
 		s := &d.Samples[i]
 		causeName, faultRegion := "", ""
-		if s.Cause >= 0 {
+		if s.Cause >= 0 && s.Cause < d.Layout.NumFeatures() {
 			causeName = d.Layout.FeatureName(s.Cause)
 		}
 		if s.FaultRegion >= 0 && s.FaultRegion < len(regions) {
 			faultRegion = regions[s.FaultRegion].Name
 		}
+		// Live-ingested samples may not know their client region (-1);
+		// export them with an empty client instead of panicking.
+		client := ""
+		if s.Client >= 0 && s.Client < len(regions) {
+			client = regions[s.Client].Name
+		}
 		row := []string{
 			strconv.Itoa(s.Service),
-			regions[s.Client].Name,
+			client,
 			strconv.FormatInt(s.Tick, 10),
 			strconv.FormatBool(s.Degraded),
 			strconv.Itoa(s.Cause),

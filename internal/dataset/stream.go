@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"diagnet/internal/probe"
+)
+
+// Streaming dataset format: one gob stream carrying a header (the layout)
+// followed by one Sample value per record. Unlike Save/Load, neither side
+// ever holds the whole collection — the writer emits samples as they are
+// produced (the continual plane's SampleStore exports its reservoir this
+// way) and the reader folds them one at a time.
+
+// streamHeader opens a sample stream.
+type streamHeader struct {
+	Landmarks []int
+}
+
+// StreamWriter writes samples incrementally. Close the underlying writer
+// yourself; StreamWriter holds no buffer of its own beyond gob's.
+type StreamWriter struct {
+	enc    *gob.Encoder
+	layout probe.Layout
+	n      int
+}
+
+// NewStreamWriter starts a sample stream under the given full layout.
+func NewStreamWriter(w io.Writer, layout probe.Layout) (*StreamWriter, error) {
+	sw := &StreamWriter{enc: gob.NewEncoder(w), layout: layout}
+	if err := sw.enc.Encode(streamHeader{Landmarks: layout.Landmarks}); err != nil {
+		return nil, fmt.Errorf("dataset: stream header: %w", err)
+	}
+	return sw, nil
+}
+
+// Write appends one sample to the stream. The sample's feature vector
+// must match the stream's layout.
+func (sw *StreamWriter) Write(s Sample) error {
+	if len(s.Features) != sw.layout.NumFeatures() {
+		return fmt.Errorf("dataset: stream sample has %d features, layout wants %d",
+			len(s.Features), sw.layout.NumFeatures())
+	}
+	if err := sw.enc.Encode(s); err != nil {
+		return fmt.Errorf("dataset: stream sample: %w", err)
+	}
+	sw.n++
+	return nil
+}
+
+// Count returns how many samples have been written.
+func (sw *StreamWriter) Count() int { return sw.n }
+
+// ReadStream folds a sample stream written by StreamWriter: fn is called
+// once per sample, in order, without the whole set ever being resident.
+// A fn error aborts the read and is returned verbatim.
+func ReadStream(r io.Reader, fn func(layout probe.Layout, s Sample) error) error {
+	dec := gob.NewDecoder(r)
+	var hdr streamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("dataset: stream header: %w", err)
+	}
+	layout := probe.NewLayout(hdr.Landmarks)
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("dataset: stream sample: %w", err)
+		}
+		if err := fn(layout, s); err != nil {
+			return err
+		}
+	}
+}
+
+// LoadStream materializes a sample stream into a Dataset (convenience for
+// callers that do want the whole set). A header-only stream — an exporter
+// whose every stratum was empty — loads as an empty dataset under its
+// layout, not an error.
+func LoadStream(r io.Reader) (*Dataset, error) {
+	dec := gob.NewDecoder(r)
+	var hdr streamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("dataset: stream header: %w", err)
+	}
+	d := &Dataset{Layout: probe.NewLayout(hdr.Landmarks)}
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			if errors.Is(err, io.EOF) {
+				return d, nil
+			}
+			return nil, fmt.Errorf("dataset: stream sample: %w", err)
+		}
+		d.Append(s)
+	}
+}

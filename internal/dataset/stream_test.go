@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diagnet/internal/probe"
+)
+
+// TestStreamRoundTrip writes samples one at a time and reads them back
+// both ways (fold and materialize), checking order and content survive.
+func TestStreamRoundTrip(t *testing.T) {
+	layout := probe.FullLayout()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Sample, 5)
+	for i := range want {
+		f := make([]float64, layout.NumFeatures())
+		f[i] = float64(i + 1)
+		want[i] = Sample{
+			Features: f, Service: i % 3, Client: i % 2, Tick: int64(i),
+			Degraded: i%2 == 0, Cause: i - 1, Family: probe.Family(i % 3),
+			FaultRegion: -1, FaultKind: -1,
+		}
+		if err := sw.Write(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", sw.Count(), len(want))
+	}
+
+	// Fold.
+	var got []Sample
+	err = ReadStream(bytes.NewReader(buf.Bytes()), func(l probe.Layout, s Sample) error {
+		if l.NumFeatures() != layout.NumFeatures() {
+			t.Fatalf("layout mismatch: %d features", l.NumFeatures())
+		}
+		got = append(got, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Service != want[i].Service || got[i].Cause != want[i].Cause ||
+			got[i].Features[i] != want[i].Features[i] {
+			t.Fatalf("sample %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// Materialize.
+	d, err := LoadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(want) || d.Layout.NumFeatures() != layout.NumFeatures() {
+		t.Fatalf("LoadStream: %d samples under %d features", d.Len(), d.Layout.NumFeatures())
+	}
+}
+
+// TestStreamEmpty pins the empty-stratum edge case: a header-only stream
+// loads as an empty dataset, not an error.
+func TestStreamEmpty(t *testing.T) {
+	layout := probe.NewLayout([]int{0, 3, 5})
+	var buf bytes.Buffer
+	if _, err := NewStreamWriter(&buf, layout); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.Layout.NumLandmarks() != 3 {
+		t.Fatalf("empty stream: %d samples, %d landmarks", d.Len(), d.Layout.NumLandmarks())
+	}
+}
+
+// TestStreamWidthMismatch rejects samples whose feature vector does not
+// match the stream layout instead of corrupting the stream.
+func TestStreamWidthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, probe.NewLayout([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(Sample{Features: []float64{1, 2, 3}}); err == nil {
+		t.Fatal("mismatched sample accepted")
+	}
+}
+
+// TestExportCSVUnknownClient pins the live-sample edge: a sample with an
+// unknown client region (-1) and unknown cause exports with empty cells
+// instead of panicking.
+func TestExportCSVUnknownClient(t *testing.T) {
+	layout := probe.FullLayout()
+	d := &Dataset{Layout: layout}
+	d.Append(Sample{
+		Features: make([]float64, layout.NumFeatures()),
+		Service:  2, Client: -1, Cause: -1,
+		FaultRegion: -1, FaultKind: -1,
+	})
+	var buf bytes.Buffer
+	if err := d.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "2,,") {
+		t.Fatalf("unknown client not exported empty: %q", lines[1])
+	}
+}

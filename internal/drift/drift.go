@@ -11,6 +11,7 @@ package drift
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"diagnet/internal/stats"
 )
@@ -26,6 +27,9 @@ type Config struct {
 	// ConfidenceDrop raises the signal when the mean top-1 probability
 	// falls this far below the reference mean (default 0.15).
 	ConfidenceDrop float64
+	// Now supplies the clock for signal timestamps (default time.Now);
+	// injectable for deterministic tests.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +41,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConfidenceDrop <= 0 {
 		c.ConfidenceDrop = 0.15
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -57,6 +64,17 @@ type Detector struct {
 	livePreds  []int     // ring of recent arg-max classes
 	pos        int
 	filled     bool
+
+	// autoFreeze, when positive, freezes the reference automatically once
+	// that many reference observations have accumulated (Reset arms it for
+	// unattended re-baselining after a model promotion).
+	autoFreeze int
+	// Signal bookkeeping: a "signal" is a Status() call whose verdict
+	// flips from stable to drifted. wasDrifted dedups repeated drifted
+	// verdicts so one episode counts once.
+	wasDrifted bool
+	signals    int64
+	lastSignal time.Time
 }
 
 // NewDetector creates a detector over `classes` coarse classes.
@@ -87,6 +105,9 @@ func (d *Detector) Observe(coarse []float64) {
 	if !d.refSet {
 		d.refCounts[arg]++
 		d.refConf.Add(coarse[arg])
+		if d.autoFreeze > 0 && d.refConf.N() >= d.autoFreeze {
+			d.Freeze()
+		}
 		return
 	}
 	// Live ring buffer.
@@ -108,7 +129,40 @@ func (d *Detector) Observe(coarse []float64) {
 // the baseline and subsequent ones feed the live window.
 func (d *Detector) Freeze() {
 	d.refSet = true
+	d.autoFreeze = 0
 }
+
+// Reset discards both the reference and the live window so the detector
+// can re-baseline against a new model's prediction distribution (the
+// continual-learning plane calls this right after a promotion: the old
+// reference describes the old model and would read the legitimate change
+// of decision function as drift). When autoFreezeAfter > 0 the new
+// reference freezes itself once that many observations have accumulated;
+// 0 re-arms the previous window size, and a caller that wants a manual
+// Freeze can pass a negative value.
+func (d *Detector) Reset(autoFreezeAfter int) {
+	if autoFreezeAfter == 0 {
+		autoFreezeAfter = d.cfg.WindowSize
+	}
+	if autoFreezeAfter < 0 {
+		autoFreezeAfter = 0
+	}
+	d.refSet = false
+	d.autoFreeze = autoFreezeAfter
+	d.refConf = stats.Online{}
+	for i := range d.refCounts {
+		d.refCounts[i] = 0
+	}
+	for i := range d.liveCounts {
+		d.liveCounts[i] = 0
+	}
+	d.pos = 0
+	d.filled = false
+	d.wasDrifted = false
+}
+
+// WindowSize returns the configured live-window size.
+func (d *Detector) WindowSize() int { return d.cfg.WindowSize }
 
 // liveN returns the live-window sample count.
 func (d *Detector) liveN() int {
@@ -123,10 +177,24 @@ type Status struct {
 	PSI            float64
 	RefConfidence  float64
 	LiveConfidence float64
-	SamplesRef     int
-	SamplesLive    int
-	Drifted        bool
-	Reason         string
+	// ConfidenceDelta is RefConfidence − LiveConfidence (positive when the
+	// model has become less sure than it was at baseline).
+	ConfidenceDelta float64
+	SamplesRef      int
+	SamplesLive     int
+	// WindowSize is the configured live-window size; WindowFilled reports
+	// whether the live ring has wrapped at least once.
+	WindowSize   int
+	WindowFilled bool
+	// Frozen reports whether a reference baseline has been captured.
+	Frozen  bool
+	Drifted bool
+	Reason  string
+	// Signals counts stable→drifted transitions since creation (or the
+	// last Reset); LastSignal is the wall-clock time of the latest one
+	// (zero if none).
+	Signals    int64     `json:",omitempty"`
+	LastSignal time.Time `json:",omitempty"`
 }
 
 // Status computes the current drift verdict. It needs a frozen reference
@@ -136,7 +204,13 @@ func (d *Detector) Status() Status {
 		RefConfidence: d.refConf.Mean(),
 		SamplesRef:    d.refConf.N(),
 		SamplesLive:   d.liveN(),
+		WindowSize:    d.cfg.WindowSize,
+		WindowFilled:  d.filled,
+		Frozen:        d.refSet,
+		Signals:       d.signals,
+		LastSignal:    d.lastSignal,
 	}
+	defer s.publish()
 	if !d.refSet || s.SamplesLive < d.cfg.WindowSize/2 {
 		s.Reason = "insufficient data"
 		return s
@@ -146,20 +220,49 @@ func (d *Detector) Status() Status {
 		liveConfSum += d.liveConf[i]
 	}
 	s.LiveConfidence = liveConfSum / float64(s.SamplesLive)
+	s.ConfidenceDelta = s.RefConfidence - s.LiveConfidence
 	s.PSI = psi(d.refCounts, d.liveCounts[:])
 
 	switch {
 	case s.PSI > d.cfg.PSIThreshold:
 		s.Drifted = true
 		s.Reason = fmt.Sprintf("prediction distribution shifted (PSI %.3f > %.3f)", s.PSI, d.cfg.PSIThreshold)
-	case s.RefConfidence-s.LiveConfidence > d.cfg.ConfidenceDrop:
+	case s.ConfidenceDelta > d.cfg.ConfidenceDrop:
 		s.Drifted = true
 		s.Reason = fmt.Sprintf("confidence dropped %.2f → %.2f", s.RefConfidence, s.LiveConfidence)
 	default:
 		s.Reason = "stable"
 	}
+	if s.Drifted && !d.wasDrifted {
+		d.signals++
+		d.lastSignal = d.cfg.Now()
+		s.Signals = d.signals
+		s.LastSignal = d.lastSignal
+		mSignals.Inc()
+	}
+	d.wasDrifted = s.Drifted
 	return s
 }
+
+// publish mirrors the verdict into the drift.* telemetry gauges so the
+// detector is visible on /v1/metrics, not only on /v1/drift.
+func (s *Status) publish() {
+	mPSI.Set(s.PSI)
+	mConfDelta.Set(s.ConfidenceDelta)
+	mSamplesLive.Set(float64(s.SamplesLive))
+	mSamplesRef.Set(float64(s.SamplesRef))
+	if s.Drifted {
+		mDrifted.Set(1)
+	} else {
+		mDrifted.Set(0)
+	}
+}
+
+// PSI computes the population stability index between two count vectors,
+// with epsilon smoothing for empty buckets. Exported for consumers that
+// compare prediction histograms outside a Detector — e.g. the continual
+// promotion gate weighing incumbent vs candidate shadow predictions.
+func PSI(ref, live []float64) float64 { return psi(ref, live) }
 
 // psi computes the population stability index between two count vectors,
 // with epsilon smoothing for empty buckets.

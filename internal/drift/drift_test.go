@@ -3,6 +3,7 @@ package drift
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // dist returns a one-hot-ish coarse distribution peaked at class k with
@@ -119,5 +120,90 @@ func TestPSIEdgeCases(t *testing.T) {
 	}
 	if got := psi([]float64{5, 5}, []float64{7, 7}); got > 1e-9 {
 		t.Fatalf("identical shapes give PSI %v", got)
+	}
+}
+
+// TestResetAutoFreeze exercises the re-baselining path the continual plane
+// uses after a promotion: Reset discards both windows, the new reference
+// freezes itself after the configured count, and drift against the NEW
+// baseline is detected while the legitimate model change is not.
+func TestResetAutoFreeze(t *testing.T) {
+	d := NewDetector(7, Config{WindowSize: 100})
+	for i := 0; i < 200; i++ {
+		d.Observe(dist(7, 0, 0.9))
+	}
+	d.Freeze()
+	for i := 0; i < 150; i++ {
+		d.Observe(dist(7, 4, 0.9))
+	}
+	if s := d.Status(); !s.Drifted {
+		t.Fatalf("shift not detected before reset: %+v", s)
+	}
+
+	// Promotion: the new model legitimately predicts class 4.
+	d.Reset(0) // 0 re-arms the window size (100)
+	if s := d.Status(); s.Drifted || s.Frozen {
+		t.Fatalf("reset detector still drifted/frozen: %+v", s)
+	}
+	for i := 0; i < 100; i++ {
+		d.Observe(dist(7, 4, 0.9)) // becomes the new reference
+	}
+	if s := d.Status(); !s.Frozen {
+		t.Fatalf("auto-freeze did not fire after 100 observations: %+v", s)
+	}
+	for i := 0; i < 150; i++ {
+		d.Observe(dist(7, 4, 0.9))
+	}
+	if s := d.Status(); s.Drifted {
+		t.Fatalf("stable post-promotion stream flagged: %+v", s)
+	}
+	for i := 0; i < 150; i++ {
+		d.Observe(dist(7, 1, 0.9))
+	}
+	if s := d.Status(); !s.Drifted {
+		t.Fatalf("drift against the new baseline not detected: %+v", s)
+	}
+}
+
+// TestSignalAccounting pins the stable→drifted edge counting and the
+// signal timestamp: repeated drifted verdicts within one episode count
+// once, and a new episode after recovery counts again.
+func TestSignalAccounting(t *testing.T) {
+	now := int64(0)
+	clock := func() time.Time { return time.Unix(now, 0) }
+	d := NewDetector(7, Config{WindowSize: 100, Now: clock})
+	for i := 0; i < 200; i++ {
+		d.Observe(dist(7, 0, 0.9))
+	}
+	d.Freeze()
+	if s := d.Status(); s.Signals != 0 || !s.LastSignal.IsZero() {
+		t.Fatalf("signals before any drift: %+v", s)
+	}
+	now = 42
+	for i := 0; i < 100; i++ {
+		d.Observe(dist(7, 4, 0.9))
+	}
+	s := d.Status()
+	if s.Signals != 1 || !s.LastSignal.Equal(time.Unix(42, 0)) {
+		t.Fatalf("first signal not recorded: %+v", s)
+	}
+	now = 43
+	if s = d.Status(); s.Signals != 1 {
+		t.Fatalf("repeated drifted verdict double-counted: %+v", s)
+	}
+	// Recovery: live window refills with the reference class.
+	for i := 0; i < 100; i++ {
+		d.Observe(dist(7, 0, 0.9))
+	}
+	if s = d.Status(); s.Drifted || s.Signals != 1 {
+		t.Fatalf("recovery not observed: %+v", s)
+	}
+	now = 99
+	for i := 0; i < 100; i++ {
+		d.Observe(dist(7, 4, 0.9))
+	}
+	s = d.Status()
+	if s.Signals != 2 || !s.LastSignal.Equal(time.Unix(99, 0)) {
+		t.Fatalf("second episode not counted: %+v", s)
 	}
 }

@@ -1,0 +1,16 @@
+package drift
+
+import "diagnet/internal/telemetry"
+
+// Drift-detector metrics (DESIGN.md §15): the live verdict mirrored as
+// gauges every time Status() runs, plus a counter of stable→drifted
+// transitions. Before this the detector was invisible at runtime — the
+// retraining signal existed only for whoever happened to poll /v1/drift.
+var (
+	mPSI         = telemetry.Default().Gauge("drift.psi")
+	mConfDelta   = telemetry.Default().Gauge("drift.confidence_delta")
+	mSamplesLive = telemetry.Default().Gauge("drift.samples_live")
+	mSamplesRef  = telemetry.Default().Gauge("drift.samples_ref")
+	mDrifted     = telemetry.Default().Gauge("drift.drifted")
+	mSignals     = telemetry.Default().Counter("drift.signals")
+)

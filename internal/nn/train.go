@@ -30,6 +30,13 @@ type TrainConfig struct {
 	Seed     int64
 	// Verbose, when non-nil, receives one line per epoch.
 	Verbose func(string)
+	// OnEpoch, when non-nil, runs after every epoch (after validation)
+	// with the 0-based epoch index and the running history. Returning
+	// false stops training — best-validation weights are still restored.
+	// Background retraining hooks in here: the callback may block to
+	// pause training under serving overload, and may checkpoint the
+	// network's current weights for crash resume.
+	OnEpoch func(epoch int, h *History) bool
 }
 
 // History records per-epoch losses for learning-curve plots (Fig. 9).
@@ -169,6 +176,9 @@ func (t *Trainer) FitGroups(groups []Group, valX *mat.Matrix, valLabels []int, c
 		}
 		if cfg.Verbose != nil {
 			cfg.Verbose(fmt.Sprintf("epoch %2d: train %.4f val %.4f", epoch, epochLoss, valLoss))
+		}
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, hist) {
+			break
 		}
 		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
 			break

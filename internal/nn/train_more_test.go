@@ -147,3 +147,32 @@ func TestHistoryEpochs(t *testing.T) {
 		t.Fatal("Epochs wrong")
 	}
 }
+
+// TestOnEpochHook checks the per-epoch callback fires once per epoch and
+// can stop training early.
+func TestOnEpochHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork(NewDense(3, 4, rng), NewReLU(), NewDense(4, 2, rng))
+	x := mat.New(8, 3)
+	labels := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		labels[i] = i % 2
+	}
+	var epochs []int
+	h := NewTrainer(net).Fit(x, labels, nil, nil, TrainConfig{
+		Epochs: 10, BatchSize: 4,
+		OnEpoch: func(epoch int, hist *History) bool {
+			epochs = append(epochs, epoch)
+			return epoch < 2 // stop after the 3rd epoch
+		},
+	})
+	if len(epochs) != 3 || epochs[2] != 2 {
+		t.Fatalf("hook epochs %v, want [0 1 2]", epochs)
+	}
+	if h.Epochs() != 3 {
+		t.Fatalf("trained %d epochs, want 3", h.Epochs())
+	}
+}

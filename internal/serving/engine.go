@@ -51,6 +51,18 @@ type Engine struct {
 	shedFull     atomic.Int64
 	shedExpired  atomic.Int64
 	shedCanceled atomic.Int64
+
+	// Shadow tee (shadow.go): sampled replay of served requests through a
+	// candidate version, strictly off the serving path.
+	teeFracBits   atomic.Uint64
+	teeSeen       atomic.Int64
+	teeSent       atomic.Int64
+	shadowTeed    atomic.Int64
+	shadowDropped atomic.Int64
+	observer      atomic.Pointer[func(ShadowObservation)]
+	shadowCh      chan *shadowJob
+	shadowWG      sync.WaitGroup
+	shadowOnce    sync.Once
 }
 
 // New starts an engine: the dispatcher and cfg.Workers workers spin up
@@ -59,10 +71,11 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.Workers),
-		queue:   make(chan *item, cfg.QueueDepth),
-		batches: make(chan []*item, cfg.Workers),
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Workers),
+		queue:    make(chan *item, cfg.QueueDepth),
+		batches:  make(chan []*item, cfg.Workers),
+		shadowCh: make(chan *shadowJob, cfg.QueueDepth),
 	}
 	e.dispatcherWG.Add(1)
 	go e.dispatch()
@@ -70,6 +83,8 @@ func New(cfg Config) *Engine {
 		e.workerWG.Add(1)
 		go e.worker(w)
 	}
+	e.shadowWG.Add(1)
+	go e.shadowWorker()
 	return e
 }
 
@@ -81,12 +96,15 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Stats returns the admission counters.
 func (e *Engine) Stats() Stats {
+	teed, dropped := e.shadowStats()
 	return Stats{
-		Served:       e.served.Load(),
-		ShedFull:     e.shedFull.Load(),
-		ShedExpired:  e.shedExpired.Load(),
-		ShedCanceled: e.shedCanceled.Load(),
-		QueueDepth:   int(e.depth.Load()),
+		Served:        e.served.Load(),
+		ShedFull:      e.shedFull.Load(),
+		ShedExpired:   e.shedExpired.Load(),
+		ShedCanceled:  e.shedCanceled.Load(),
+		QueueDepth:    int(e.depth.Load()),
+		ShadowTeed:    teed,
+		ShadowDropped: dropped,
 	}
 }
 
@@ -205,6 +223,10 @@ func (e *Engine) Close(ctx context.Context) error {
 	go func() {
 		e.dispatcherWG.Wait()
 		e.workerWG.Wait()
+		// Workers are the only shadow producers; with them gone the tee
+		// queue can close and the executor drains what is left.
+		e.shadowOnce.Do(func() { close(e.shadowCh) })
+		e.shadowWG.Wait()
 		close(done)
 	}()
 	select {
@@ -390,7 +412,9 @@ func (e *Engine) serveGroup(snap *snapshot, worker int, sess *core.Session, svc 
 			}
 		}
 	}()
+	inferStart := time.Now()
 	diags := sess.DiagnoseBatchContext(bctx, features, layout)
+	inferDur := time.Since(inferStart)
 	bspan.End()
 	for k, it := range members {
 		e.served.Add(1)
@@ -400,6 +424,17 @@ func (e *Engine) serveGroup(snap *snapshot, worker int, sess *core.Session, svc 
 			ModelService: svc,
 			Version:      snap.version,
 		}}
+	}
+	// Shadow tee, strictly after every member has its answer: a sampled
+	// copy of the group replays through the candidate off-path.
+	if e.ShadowTee() > 0 {
+		svcs := make([]int, len(members))
+		incCoarse := make([][]float64, len(members))
+		for k, it := range members {
+			svcs[k] = it.req.ServiceID
+			incCoarse[k] = diags[k].Coarse
+		}
+		e.maybeTee(svcs, layout, features, incCoarse, snap.version, inferDur)
 	}
 }
 
