@@ -8,6 +8,8 @@
 //	diagnet-router -replicas 'http://10.0.0.1:8421,http://10.0.0.2:8421,http://10.0.0.3:8421'
 //	               [-addr :8420] [-hedge-after 0] [-affinity=true]
 //	               [-health-interval 500ms] [-attempt-timeout 30s]
+//	               [-federate-interval 15s] [-slo-target 0.999] [-slo-latency-ms 250]
+//	               [-state-dir state/ [-profile-on-breach 500]]
 //	               [-log-format text|json] [-trace=true]
 //
 // API (proxied to the replicas):
@@ -15,7 +17,11 @@
 //	POST /v1/diagnose        routed with service affinity + hedging
 //	POST /v1/diagnose-batch  scatter-gathered across ready replicas
 //	GET  /v1/model           proxied to the best-ranked replica
-//	GET  /v1/metrics         the router's own telemetry snapshot
+//	GET  /v1/metrics         the router's own telemetry snapshot (JSON; exposition via Accept)
+//	GET  /metrics            the router's own metrics, Prometheus/OpenMetrics text
+//	GET  /v1/fleet/metrics   exactly-merged federated fleet view + per-replica breakdown
+//	GET  /v1/slo             SLO burn-rate alert state machine (404 unless -slo-target)
+//	GET  /v1/profiles        anomaly-captured CPU/heap profile ring (404 unless -state-dir)
 //	GET  /v1/replicas        per-replica health/breaker/load status
 //	GET  /healthz            liveness (204 while the process runs)
 //	GET  /readyz             readiness (503 until a replica is ready)
@@ -23,6 +29,15 @@
 // -hedge-after 0 (the default) derives the hedging delay from the
 // observed attempt-latency p90; a fixed duration pins it; a negative
 // value disables hedging.
+//
+// Fleet observability (DESIGN.md §16): -federate-interval scrapes every
+// replica's /metrics on that cadence and maintains the exactly-merged
+// fleet view. -slo-target turns on multi-window burn-rate alerting over
+// the federated /v1/diagnose metrics (availability, plus a latency
+// objective when -slo-latency-ms is set). With -state-dir, a firing
+// burn-rate alert — or a windowed fleet p99 above -profile-on-breach
+// (ms) — captures a CPU+heap profile pair into the on-disk ring under
+// <state-dir>/profiles, rate-limited to one capture per cooldown.
 package main
 
 import (
@@ -33,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +64,11 @@ func main() {
 	affinity := flag.Bool("affinity", true, "consistent-hash service affinity (false = pure least-loaded)")
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "replica /readyz sweep period")
 	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "per-replica attempt timeout")
+	federateInterval := flag.Duration("federate-interval", 15*time.Second, "replica /metrics scrape period for the federated fleet view (0 = federation off)")
+	sloTarget := flag.Float64("slo-target", 0, "SLO goal over federated /v1/diagnose metrics, e.g. 0.999 (0 = SLO engine off)")
+	sloLatencyMs := flag.Float64("slo-latency-ms", 0, "latency objective threshold in ms; use a latency-bucket bound for an exact split (0 = availability objective only)")
+	profileOnBreach := flag.Float64("profile-on-breach", 0, "also capture a profile pair when the windowed fleet p99 exceeds this many ms (0 = burn-rate triggers only)")
+	stateDir := flag.String("state-dir", "", "state directory; anomaly profile captures land under <state-dir>/profiles (empty = profiling off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	traceOn := flag.Bool("trace", true, "record route/attempt spans")
 	flag.Parse()
@@ -66,15 +87,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	obsCfg := cluster.ObsConfig{
+		FederateInterval:  *federateInterval,
+		SLOTarget:         *sloTarget,
+		SLOLatencyMs:      *sloLatencyMs,
+		ProfileOnBreachMs: *profileOnBreach,
+	}
+	if *stateDir != "" {
+		obsCfg.ProfileDir = filepath.Join(*stateDir, "profiles")
+	}
 	rt := cluster.NewRouter(urls, cluster.Config{
 		HedgeAfter:     *hedgeAfter,
 		NoAffinity:     !*affinity,
 		HealthInterval: *healthInterval,
 		AttemptTimeout: *attemptTimeout,
+		Obs:            obsCfg,
 	})
 	defer rt.Close()
 	slog.Info("router pool built", "replicas", len(urls),
-		"hedge_after", *hedgeAfter, "affinity", *affinity)
+		"hedge_after", *hedgeAfter, "affinity", *affinity,
+		"federate_interval", *federateInterval, "slo_target", *sloTarget,
+		"profiling", obsCfg.ProfileDir != "")
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

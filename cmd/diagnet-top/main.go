@@ -1,0 +1,57 @@
+// Command diagnet-top is a terminal fleet view over a diagnet-router's
+// observability plane: fleet QPS, windowed p50/p99, error rate, SLO
+// error-budget remaining, and per-replica health — the operator's
+// one-glance answer to "is the fleet OK right now".
+//
+// Usage:
+//
+//	diagnet-top -router http://localhost:8420            one-shot snapshot
+//	diagnet-top -router http://localhost:8420 -watch     refresh every -interval
+//
+// The QPS and latency columns are windowed: each refresh subtracts the
+// previous federated histogram from the current one, so the numbers
+// describe the last interval, not the process lifetime. One-shot mode
+// takes two samples -interval apart to get one window.
+//
+// diagnet-top needs the router started with -federate-interval (the
+// fleet view is the federated one); the SLO column appears when the
+// router also has -slo-target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	router := flag.String("router", "http://localhost:8420", "diagnet-router base URL")
+	interval := flag.Duration("interval", 2*time.Second, "sample window (and refresh period with -watch)")
+	watch := flag.Bool("watch", false, "refresh continuously instead of one snapshot")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	prev, err := collect(client, *router)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnet-top:", err)
+		os.Exit(1)
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := collect(client, *router)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnet-top:", err)
+			os.Exit(1)
+		}
+		if *watch {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, prev, cur)
+		if !*watch {
+			return
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diagnet/internal/cluster"
+	"diagnet/internal/obs"
+	"diagnet/internal/telemetry"
+)
+
+// fakeRouter serves the three endpoints diagnet-top reads, with swappable
+// fleet views so a test can present two samples.
+type fakeRouter struct {
+	view     obs.FleetView
+	slo      *sloDoc
+	replicas []cluster.ReplicaStatus
+}
+
+func (f *fakeRouter) serve(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(f.view)
+	})
+	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		if f.slo == nil {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(f.slo)
+	})
+	mux.HandleFunc("/v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(f.replicas)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// exportWith builds an export carrying n diagnose requests, e errors and
+// a latency histogram with all n observations in the ≤10ms bucket.
+func exportWith(n, e int64) telemetry.Export {
+	return telemetry.Export{
+		Counters: []telemetry.CounterPoint{
+			{Name: metricErrors, Value: e},
+			{Name: metricRequests, Value: n},
+		},
+		Histograms: []telemetry.HistogramPoint{{
+			Name:       metricLatency,
+			Bounds:     []float64{1, 10, 100},
+			Cumulative: []int64{0, n, n, n},
+			Sum:        float64(n) * 5,
+		}},
+	}
+}
+
+func TestCollectAndRenderWindowedView(t *testing.T) {
+	f := &fakeRouter{
+		view: obs.FleetView{
+			Replicas: []obs.ReplicaMetrics{
+				{Name: "http://r1", Export: exportWith(100, 0)},
+				{Name: "http://r2", Export: exportWith(50, 0)},
+			},
+			Fleet: exportWith(150, 0),
+		},
+		slo: &sloDoc{},
+		replicas: []cluster.ReplicaStatus{
+			{Name: "http://r1", Healthy: true, Breaker: "closed"},
+			{Name: "http://r2", Healthy: true, Breaker: "closed"},
+		},
+	}
+	f.slo.Objectives = append(f.slo.Objectives, struct {
+		Name            string  `json:"name"`
+		Goal            float64 `json:"goal"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+		Alerts          []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Firing   bool   `json:"firing"`
+		} `json:"alerts"`
+	}{Name: "diagnose-availability", Goal: 0.99, BudgetRemaining: 0.8})
+
+	srv := f.serve(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+	prev, err := collect(client, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second sample: 200 more fleet requests, 10 of them errors, all on r1.
+	f.view.Fleet = exportWith(350, 10)
+	f.view.Replicas[0].Export = exportWith(300, 10)
+	cur, err := collect(client, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the elapsed window so QPS is deterministic.
+	cur.At = prev.At.Add(2 * time.Second)
+
+	var sb strings.Builder
+	render(&sb, prev, cur)
+	out := sb.String()
+
+	for _, want := range []string{
+		"2 replicas",
+		"100.0 qps", // 200 requests / 2s
+		"errors  5.00%",
+		"diagnose-availability",
+		"budget   80.0%",
+		"http://r1",
+		"http://r2",
+		"ready",
+		"closed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered view lacks %q:\n%s", want, out)
+		}
+	}
+	// r2 took no traffic in the window; its row shows 0 qps and an empty
+	// p99, not stale lifetime numbers.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "http://r2") {
+			if !strings.Contains(line, "0.0") || !strings.Contains(line, "—") {
+				t.Errorf("r2 row should be windowed-empty: %q", line)
+			}
+		}
+	}
+}
+
+func TestCollectWithoutSLO(t *testing.T) {
+	f := &fakeRouter{
+		view:     obs.FleetView{Fleet: exportWith(1, 0)},
+		replicas: []cluster.ReplicaStatus{},
+	}
+	srv := f.serve(t)
+	s, err := collect(&http.Client{Timeout: 5 * time.Second}, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLO != nil {
+		t.Fatal("404 /v1/slo should leave SLO nil")
+	}
+	var sb strings.Builder
+	render(&sb, s, s) // degenerate zero-window render must not panic
+	if !strings.Contains(sb.String(), "0 replicas") {
+		t.Errorf("unexpected render:\n%s", sb.String())
+	}
+}

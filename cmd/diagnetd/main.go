@@ -6,7 +6,7 @@
 //
 //	diagnetd -model model.gob [-specialized 'model.svc0.gob,model.svc1.gob'] [-addr :8421]
 //	         [-model-dir models/ [-serve-version v2]]
-//	         [-state-dir state/ [-fsync always|batch|never]]
+//	         [-state-dir state/ [-fsync always|batch|never] [-profile-on-breach 500]]
 //	         [-continual [-retrain-interval 1h] [-shadow-fraction 0.05] [-promote-min-gain 0]]
 //	         [-batch-max 32] [-batch-wait 2ms] [-queue-depth 256] [-workers 0]
 //	         [-pprof 127.0.0.1:6060] [-log-format text|json]
@@ -21,7 +21,9 @@
 //	GET  /v1/model
 //	GET  /v1/models      registered model versions and the active one
 //	POST /v1/models      {"action":"load|promote|rollback", ...} rollout admin
-//	GET  /v1/metrics     per-route latency percentiles + serving queue/batch/shed metrics
+//	GET  /v1/metrics     per-route latency percentiles + serving queue/batch/shed metrics (JSON; exposition via Accept)
+//	GET  /metrics        the same metrics in Prometheus/OpenMetrics text for scrapers
+//	GET  /v1/profiles    anomaly-captured CPU/heap profile ring (404 unless -profile-on-breach)
 //	GET  /v1/traces      kept request traces (slow/error always, others head-sampled)
 //	GET  /v1/traces/{id} one trace as a span tree
 //	GET  /healthz        liveness (204 while the process runs)
@@ -86,7 +88,9 @@ import (
 	"diagnet/internal/analysis"
 	"diagnet/internal/continual"
 	"diagnet/internal/durable"
+	"diagnet/internal/obs"
 	"diagnet/internal/serving"
+	"diagnet/internal/telemetry"
 	"diagnet/internal/tracing"
 )
 
@@ -114,6 +118,7 @@ func main() {
 	traceOn := flag.Bool("trace", true, "record request traces (GET /v1/traces)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for normal traces in [0,1]; slow and error traces are always kept")
 	traceSlow := flag.Duration("trace-slow", 0, "latency above which a trace is always kept (0 = default 250ms)")
+	profileOnBreach := flag.Float64("profile-on-breach", 0, "capture a CPU+heap profile pair when the windowed /v1/diagnose p99 exceeds this many ms; captures land under <state-dir>/profiles (0 = off)")
 	continualOn := flag.Bool("continual", false, "close the learning loop: buffer live samples, retrain on drift, shadow-evaluate and gate-promote candidates")
 	retrainInterval := flag.Duration("retrain-interval", 0, "also retrain on this timer (0 = drift and manual triggers only)")
 	shadowFraction := flag.Float64("shadow-fraction", 0.05, "fraction of live traffic teed through a shadowing candidate")
@@ -222,6 +227,26 @@ func main() {
 				fatal("specialized model registration failed", "path", path, "err", err)
 			}
 			slog.Info("loaded specialized model", "service", m.ServiceID, "path", path)
+		}
+	}
+
+	// Anomaly-triggered profiling (DESIGN.md §16): a windowed p99 breach
+	// over the local /v1/diagnose latency histogram captures a bounded
+	// CPU+heap pprof pair into the on-disk ring under <state-dir>/profiles,
+	// listed and downloadable at GET /v1/profiles.
+	var stopBreachWatch func()
+	if *profileOnBreach > 0 {
+		if *stateDir == "" {
+			slog.Warn("-profile-on-breach needs -state-dir for the capture ring; profiling disabled")
+		} else {
+			profDir := filepath.Join(*stateDir, "profiles")
+			prof, err := obs.OpenProfiler(obs.ProfilerConfig{Dir: profDir})
+			if err != nil {
+				fatal("profile ring open failed", "err", err)
+			}
+			srv.AttachProfiler(prof)
+			stopBreachWatch = watchLatencyBreach(prof, *profileOnBreach)
+			slog.Info("anomaly profiling enabled", "p99_bound_ms", *profileOnBreach, "dir", profDir)
 		}
 	}
 
@@ -357,6 +382,9 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			slog.Warn("forced shutdown", "err", err)
 		}
+		if stopBreachWatch != nil {
+			stopBreachWatch()
+		}
 		if ctrl != nil {
 			// Stop the loop before the engine drain: an in-flight retrain is
 			// canceled (its epoch checkpoint resumes it next boot) and no new
@@ -382,6 +410,44 @@ func main() {
 			fatal("http server failed", "err", err)
 		}
 	}
+}
+
+// watchLatencyBreach polls the process-local diagnose latency histogram
+// and triggers a profile capture when the p99 of the observations made
+// since the previous poll (the windowed distribution, not the lifetime
+// one) exceeds boundMs. A minimum window population keeps a handful of
+// slow requests after boot from reading as an incident. The returned
+// func stops the watcher.
+func watchLatencyBreach(p *obs.Profiler, boundMs float64) func() {
+	stop := make(chan struct{})
+	go func() {
+		const minCount = 20
+		var prev *telemetry.HistogramPoint
+		t := time.NewTicker(15 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ex := telemetry.Default().Export()
+				cur, ok := ex.Histogram("http.diagnose.latency_ms")
+				if !ok {
+					continue
+				}
+				window, ok := obs.SubtractHistogram(cur, prev)
+				prev = cur
+				if !ok || window.Count() < minCount {
+					continue
+				}
+				if p99 := window.Quantile(0.99); p99 > boundMs {
+					slog.Warn("local p99 breach; capturing profiles", "p99_ms", p99, "bound_ms", boundMs)
+					p.Trigger("local-p99-breach")
+				}
+			}
+		}
+	}()
+	return func() { close(stop) }
 }
 
 func loadModel(path string) (*diagnet.Model, error) {

@@ -99,9 +99,9 @@ func run(out io.Writer) error {
 		// the defaults (64 shadow samples, non-negative holdout gain).
 		Gate:           continual.GateConfig{MinShadowSamples: shadowMin, MinGain: -1, MaxPSI: 100, MaxLatencyRatio: 100},
 		ShadowFraction: 1,
-		CheckInterval: 10 * time.Millisecond,
-		MinSamples:    1,
-		WatchWindow:   300 * time.Millisecond,
+		CheckInterval:  10 * time.Millisecond,
+		MinSamples:     1,
+		WatchWindow:    300 * time.Millisecond,
 		// The watchdog compares live behavior against a small shadow-phase
 		// baseline; with few reference vectors PSI carries sampling noise
 		// ~ classes·(1/n_ref + 1/n_live), so the walkthrough leaves margin.

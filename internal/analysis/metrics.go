@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"diagnet/internal/obs"
 	"diagnet/internal/telemetry"
 	"diagnet/internal/tracing"
 )
@@ -89,10 +90,17 @@ func instrument(name string, next http.HandlerFunc) http.HandlerFunc {
 // handleMetrics serves the process-wide telemetry snapshot: per-route
 // request counts and latency percentiles, per-stage Diagnose timings
 // (recorded by internal/core), probing-plane and training metrics — one
-// JSON document, cheap enough to scrape every few seconds.
+// JSON document, cheap enough to scrape every few seconds. Clients that
+// Accept the Prometheus/OpenMetrics text format get the exposition
+// instead (same data, scrape-standard shape); the JSON default stays
+// byte-compatible for diagnet-top and older tooling.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if obs.WantsExposition(r) {
+		obs.ServeExposition(w, r, telemetry.Default())
 		return
 	}
 	writeJSON(w, telemetry.Default().Snapshot())

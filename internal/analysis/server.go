@@ -28,8 +28,10 @@ import (
 	"diagnet/internal/continual"
 	"diagnet/internal/core"
 	"diagnet/internal/drift"
+	"diagnet/internal/obs"
 	"diagnet/internal/probe"
 	"diagnet/internal/serving"
+	"diagnet/internal/telemetry"
 )
 
 // maxRequestBytes bounds a request body (8 MiB — a full 1024-request
@@ -151,6 +153,10 @@ type Server struct {
 	// (pseudo-labeled sample + watchdog observation) and backs the
 	// /v1/continual control surface.
 	loop atomic.Pointer[continual.Controller]
+
+	// profiler, when set via AttachProfiler, backs /v1/profiles and is
+	// triggered by diagnetd's local p99 breach watcher.
+	profiler atomic.Pointer[obs.Profiler]
 }
 
 // NewServer wraps a general model in a default-configured serving engine,
@@ -221,6 +227,13 @@ func (s *Server) DriftStatus() drift.Status {
 	return s.drift.Status()
 }
 
+// AttachProfiler wires the anomaly-triggered profiler behind /v1/profiles
+// (404 until attached).
+func (s *Server) AttachProfiler(p *obs.Profiler) { s.profiler.Store(p) }
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (s *Server) Profiler() *obs.Profiler { return s.profiler.Load() }
+
 // SetSpecialized registers a per-service model in the active version via
 // the registry's copy-on-write snapshot swap — safe under concurrent
 // Diagnose traffic.
@@ -244,7 +257,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 //	GET  /v1/continual      → continual-learning loop status (404 when disabled)
 //	POST /v1/continual/retrain → trigger a retrain cycle
 //	POST /v1/continual/samples → ingest labeled feedback samples
-//	GET  /v1/metrics        → telemetry.Snapshot
+//	GET  /v1/metrics        → telemetry.Snapshot (JSON) or exposition via Accept
+//	GET  /metrics           → OpenMetrics text exposition
+//	GET  /v1/profiles       → anomaly profile captures (404 when disabled)
 //	GET  /v1/traces         → kept-trace summaries (newest first)
 //	GET  /v1/traces/{id}    → one trace as a span tree
 //	GET  /healthz           → 204 (liveness)
@@ -267,6 +282,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", instrument("metrics", handleMetrics))
 	mux.HandleFunc("/v1/traces", instrument("traces", handleTraces))
 	mux.HandleFunc("/v1/traces/", instrument("trace", handleTraceByID))
+	// The scrape-standard exposition endpoint. Deliberately uninstrumented
+	// (like the probes): the federator hits it every sweep interval and
+	// would drown the request metrics; it counts its own scrapes instead.
+	mux.Handle("/metrics", obs.ExpositionHandler(telemetry.Default()))
+	profiles := func(w http.ResponseWriter, r *http.Request) {
+		p := s.profiler.Load()
+		if p == nil {
+			http.Error(w, "profiling disabled", http.StatusNotFound)
+			return
+		}
+		p.ServeHTTP(w, r)
+	}
+	mux.HandleFunc("/v1/profiles", profiles)
+	mux.HandleFunc("/v1/profiles/", profiles)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	})

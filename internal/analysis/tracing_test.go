@@ -2,8 +2,8 @@ package analysis
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"testing"
 	"time"
@@ -113,48 +113,75 @@ func TestTraceEndToEnd(t *testing.T) {
 
 // TestTraceExemplarLoop closes the metrics↔traces loop: after traffic,
 // the diagnose route's latency histogram exposes a tail exemplar whose
-// trace ID resolves against the trace store.
+// trace ID resolves against the trace store. The histogram and the trace
+// ring are process globals shared with every other test in this package,
+// so the current tail exemplar can predate this test — and its trace may
+// have been legitimately evicted by the flood of traces those tests
+// produced. The loop guarantee is therefore only checkable when the
+// exemplar is one of this test's own requests (whose traces three
+// requests cannot have evicted).
 func TestTraceExemplarLoop(t *testing.T) {
 	_, ts := newService(t)
-	client := NewClient(ts.URL)
-	for i := 0; i < 3; i++ {
-		if _, err := client.Diagnose(context.Background(), sampleRequest(t)); err != nil {
+
+	ours := make(map[string]bool)
+	drive := func() {
+		req, err := json.Marshal(sampleRequest(t))
+		if err != nil {
 			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if id := resp.Header.Get("X-Trace-Id"); id != "" {
+			ours[id] = true
 		}
 	}
 
-	var snap struct {
-		Histograms map[string]struct {
-			Exemplar *struct {
-				TraceID string `json:"trace_id"`
-			} `json:"exemplar"`
-		} `json:"histograms"`
+	exemplarID := func() string {
+		var snap struct {
+			Histograms map[string]struct {
+				Exemplar *struct {
+					TraceID string `json:"trace_id"`
+				} `json:"exemplar"`
+			} `json:"histograms"`
+		}
+		r, err := http.Get(ts.URL + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		h, ok := snap.Histograms["http.diagnose.latency_ms"]
+		if !ok {
+			t.Fatal("no http.diagnose.latency_ms histogram in /v1/metrics")
+		}
+		if h.Exemplar == nil || h.Exemplar.TraceID == "" {
+			t.Fatal("diagnose latency histogram has no trace exemplar")
+		}
+		return h.Exemplar.TraceID
 	}
-	r, err := http.Get(ts.URL + "/v1/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Body.Close()
-	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	h, ok := snap.Histograms["http.diagnose.latency_ms"]
-	if !ok {
-		t.Fatal("no http.diagnose.latency_ms histogram in /v1/metrics")
-	}
-	if h.Exemplar == nil || h.Exemplar.TraceID == "" {
-		t.Fatal("diagnose latency histogram has no trace exemplar")
-	}
-	// The exemplar must point at a retrievable trace (it can only have
-	// been evicted if the ring wrapped, which 3 requests cannot do).
+
 	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if _, ok := tracing.Default().Trace(h.Exemplar.TraceID); ok {
+	stale := ""
+	for time.Now().Before(deadline) {
+		drive()
+		id := exemplarID()
+		if !ours[id] {
+			stale = id // predates this test; keep driving — a tail
+			continue   // observation of ours may displace it
+		}
+		if _, ok := tracing.Default().Trace(id); ok {
 			return
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("exemplar trace %s not retrievable", h.Exemplar.TraceID)
-		}
-		time.Sleep(10 * time.Millisecond)
+		t.Fatalf("exemplar trace %s from this test not retrievable", id)
 	}
+	if _, ok := tracing.Default().Trace(stale); ok {
+		return // stale but still resolvable: the loop holds
+	}
+	t.Skipf("tail exemplar %s predates this test and was evicted by earlier tests' traffic; loop not checkable", stale)
 }

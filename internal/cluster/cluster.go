@@ -100,6 +100,10 @@ type Config struct {
 	Transport http.RoundTripper
 	// Now substitutes a fake clock in tests (default time.Now).
 	Now func() time.Time
+	// Obs configures the fleet observability plane: metric federation,
+	// SLO burn-rate alerting, anomaly-triggered profiling. The zero value
+	// disables it.
+	Obs ObsConfig
 }
 
 // defaultTransport is the router's outbound transport: DefaultTransport

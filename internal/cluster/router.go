@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"diagnet/internal/analysis"
+	"diagnet/internal/obs"
 	"diagnet/internal/telemetry"
 	"diagnet/internal/tracing"
 )
@@ -37,6 +38,10 @@ type Router struct {
 	failovers      atomic.Int64
 	backpressure   atomic.Int64
 
+	// obs is the fleet observability plane (federation, SLO engine,
+	// anomaly profiler); nil unless Config.Obs enables it.
+	obs *routerObs
+
 	handler http.Handler
 }
 
@@ -54,12 +59,18 @@ func NewRouter(urls []string, cfg Config) *Router {
 		},
 		latHist: telemetry.NewHistogram(nil),
 	}
+	rt.obs = newRouterObs(rt.pool, cfg.Obs)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/diagnose", instrument("diagnose", rt.handleDiagnose))
 	mux.HandleFunc("/v1/diagnose-batch", instrument("diagnose_batch", rt.handleBatch))
 	mux.HandleFunc("/v1/model", instrument("model", rt.handleModel))
 	mux.HandleFunc("/v1/metrics", instrument("metrics", handleMetrics))
 	mux.HandleFunc("/v1/replicas", instrument("replicas", rt.handleReplicas))
+	mux.Handle("/metrics", obs.ExpositionHandler(telemetry.Default()))
+	mux.HandleFunc("/v1/fleet/metrics", rt.handleFleetMetrics)
+	mux.HandleFunc("/v1/slo", rt.handleSLO)
+	mux.HandleFunc("/v1/profiles", rt.handleProfiles)
+	mux.HandleFunc("/v1/profiles/", rt.handleProfiles)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	})
@@ -77,9 +88,14 @@ func NewRouter(urls []string, cfg Config) *Router {
 	return rt
 }
 
-// Close stops the health sweeper. In-flight requests finish on their own
-// contexts.
-func (rt *Router) Close() { rt.pool.Close() }
+// Close stops the health sweeper and the federation loop. In-flight
+// requests finish on their own contexts.
+func (rt *Router) Close() {
+	if rt.obs != nil {
+		rt.obs.close()
+	}
+	rt.pool.Close()
+}
 
 // Pool exposes the replica pool (status, tests).
 func (rt *Router) Pool() *Pool { return rt.pool }
@@ -177,6 +193,10 @@ func (rt *Router) route(ctx context.Context, method, path string, body []byte, k
 				mHedges.Inc()
 			}
 			inflight++
+			// Count the attempt as outstanding before the goroutine is
+			// scheduled, so a concurrently-ranked request (e.g. a sibling
+			// scatter chunk) sees this replica as busy and spreads out.
+			rep.outstanding.Add(1)
 			go rt.attempt(actx, rep, method, path, body, hedged, ch)
 			return true
 		}
@@ -257,8 +277,7 @@ func (rt *Router) route(ctx context.Context, method, path string, body []byte, k
 // the replica's route span joins the same trace.
 func (rt *Router) attempt(ctx context.Context, rep *Replica, method, path string, body []byte, hedged bool, ch chan<- attemptOutcome) {
 	out := attemptOutcome{rep: rep, hedged: hedged}
-	rep.outstanding.Add(1)
-	defer rep.outstanding.Add(-1)
+	defer rep.outstanding.Add(-1) // matches the Add(1) at the launch site
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	actx, span := tracing.StartSpan(actx, "cluster.attempt")
@@ -449,10 +468,16 @@ func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rt.pool.Status())
 }
 
-// handleMetrics serves the router's process-wide telemetry snapshot.
+// handleMetrics serves the router's process-wide telemetry snapshot
+// (JSON), or the OpenMetrics exposition when the Accept header asks for
+// it — same negotiation as the analysis plane's /v1/metrics.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if obs.WantsExposition(r) {
+		obs.ServeExposition(w, r, telemetry.Default())
 		return
 	}
 	writeJSON(w, telemetry.Default().Snapshot())

@@ -1,0 +1,143 @@
+// Package obs is DiagNet's fleet observability plane (DESIGN.md §16),
+// layered on the internal/telemetry registry:
+//
+//   - Prometheus text exposition. Every daemon serves GET /metrics in the
+//     OpenMetrics text format — counters (_total), gauges, and fixed-bucket
+//     histograms with cumulative _bucket series, _sum/_count and the
+//     registry's tail exemplars annotated on their bucket line. Zero
+//     dependencies: the writer and its strict parser live here.
+//
+//   - Metric federation. The router scrapes each replica's /metrics on a
+//     timer, decodes it with the same strict parser, and merges the fleet
+//     exactly: counters and cumulative buckets sum element-wise (exact
+//     because every histogram of a given name shares fixed bounds), gauges
+//     aggregate under a name-based policy. GET /v1/fleet/metrics serves
+//     the merged view with a per-replica breakdown.
+//
+//   - SLO engine. Declarative objectives (availability and a latency
+//     threshold over /v1/diagnose) evaluated with multi-window burn-rate
+//     rules — fast 5m/1h page, slow 6h/3d warn — over sliding windows of
+//     the federated counters. GET /v1/slo exposes the alert state machine
+//     and the remaining error budget.
+//
+//   - Anomaly-triggered profiling. When a burn-rate rule fires, or the
+//     fleet p99 breaches a configured bound, a bounded CPU+heap pprof pair
+//     is captured into a small on-disk ring, rate-limited so a sustained
+//     incident costs at most one capture per cooldown. GET /v1/profiles
+//     lists and serves the captures.
+//
+// The paper's premise is diagnosing other services at Internet scale;
+// this package applies the same discipline to the diagnoser itself — the
+// continuously collected, aggregated telemetry substrate that online RCA
+// systems (NetRCA, online multi-modal RCA) presuppose.
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"diagnet/internal/telemetry"
+)
+
+// PromName maps a dotted registry name to a Prometheus metric family
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed. Idempotent, so parsed-and-re-exposed names are
+// stable across federation hops.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WantsExposition reports whether the request's Accept header prefers the
+// Prometheus/OpenMetrics text format over the legacy JSON snapshot. The
+// JSON shape stays the default (and byte-compatible) so existing tooling
+// keeps working without sending a header.
+func WantsExposition(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "openmetrics") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// ServeExposition writes the registry's current state in the exposition
+// text format.
+func ServeExposition(w http.ResponseWriter, r *http.Request, reg *telemetry.Registry) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	ex := reg.Export()
+	_ = WriteExposition(w, &ex)
+}
+
+// ExpositionHandler serves GET /metrics from the given registry, counting
+// scrapes (into the same registry) so the observability plane observes
+// itself.
+func ExpositionHandler(reg *telemetry.Registry) http.Handler {
+	scrapes := reg.Counter("obs.scrapes")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		scrapes.Inc()
+		ServeExposition(w, r, reg)
+	})
+}
+
+// Instrument wraps an HTTP handler with the standard per-route metrics —
+// http.<route>.requests, http.<route>.errors (status ≥ 400 or panic) and
+// http.<route>.latency_ms — recorded into the GIVEN registry rather than
+// the process default. The analysis and cluster planes instrument their
+// own routes directly; this helper exists for handlers outside those
+// packages, and for multi-replica-in-one-process setups (tests, the
+// observability example) where each replica needs its own registry so the
+// federated fleet view sums distinct processes, not one shared registry
+// counted twice.
+func Instrument(reg *telemetry.Registry, route string, inner http.Handler) http.Handler {
+	requests := reg.Counter("http." + route + ".requests")
+	errors := reg.Counter("http." + route + ".errors")
+	latency := reg.Histogram("http."+route+".latency_ms", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		finished := false
+		defer func() {
+			// Runs during panic unwinding too: a panic counts as an error
+			// and the panic keeps propagating to the server's recoverer.
+			latency.Observe(telemetry.Millis(time.Since(start)))
+			if !finished || rec.status >= 400 {
+				errors.Inc()
+			}
+		}()
+		inner.ServeHTTP(rec, r)
+		finished = true
+	})
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

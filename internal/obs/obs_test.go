@@ -1,0 +1,480 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diagnet/internal/telemetry"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"http.diagnose.latency_ms": "http_diagnose_latency_ms",
+		"slo.alerts.fired":         "slo_alerts_fired",
+		"9lives":                   "_9lives",
+		"already_fine:ok":          "already_fine:ok",
+		"":                         "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if got := PromName(PromName(in)); got != want {
+			t.Errorf("PromName not idempotent on %q: %q", in, got)
+		}
+	}
+}
+
+// TestExpositionRoundTrip pins the wire format end to end: a populated
+// registry exposes, the strict parser decodes, and every value survives
+// exactly.
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("http.diagnose.requests").Add(42)
+	reg.Counter("http.diagnose.errors").Add(3)
+	reg.Gauge("http.inflight").Set(2.5)
+	h := reg.Histogram("http.diagnose.latency_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	h.ObserveExemplar(7, "deadbeef")
+
+	var buf bytes.Buffer
+	ex := reg.Export()
+	if err := WriteExposition(&buf, &ex); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("missing terminal # EOF:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="deadbeef"} 7`) {
+		t.Errorf("exemplar annotation missing:\n%s", text)
+	}
+
+	got, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if v, ok := got.Counter("http_diagnose_requests"); !ok || v != 42 {
+		t.Errorf("requests counter: got %d, %v", v, ok)
+	}
+	if v, ok := got.Counter("http_diagnose_errors"); !ok || v != 3 {
+		t.Errorf("errors counter: got %d, %v", v, ok)
+	}
+	if v, ok := got.Gauge("http_inflight"); !ok || v != 2.5 {
+		t.Errorf("inflight gauge: got %v, %v", v, ok)
+	}
+	hp, ok := got.Histogram("http_diagnose_latency_ms")
+	if !ok {
+		t.Fatalf("latency histogram missing")
+	}
+	if hp.Count() != 5 {
+		t.Errorf("count: got %d, want 5", hp.Count())
+	}
+	if want := 0.5 + 5 + 50 + 500 + 7; hp.Sum != want {
+		t.Errorf("sum: got %v, want %v", hp.Sum, want)
+	}
+	wantCum := []int64{1, 3, 4, 5}
+	for i, c := range hp.Cumulative {
+		if c != wantCum[i] {
+			t.Errorf("cumulative[%d]: got %d, want %d", i, c, wantCum[i])
+		}
+	}
+	if hp.Exemplar == nil || hp.Exemplar.TraceID != "deadbeef" || hp.Exemplar.Value != 7 {
+		t.Errorf("exemplar: got %+v", hp.Exemplar)
+	}
+
+	// Re-exposing the parsed export must be byte-identical modulo the
+	// already-prom names: exposition is idempotent across federation hops.
+	var buf2, buf3 bytes.Buffer
+	if err := WriteExposition(&buf2, &got); err != nil {
+		t.Fatalf("re-write: %v", err)
+	}
+	got2, err := ParseExposition(buf2.Bytes())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if err := WriteExposition(&buf3, &got2); err != nil {
+		t.Fatalf("re-re-write: %v", err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Errorf("exposition not stable across parse/write cycles:\n%s\nvs\n%s", buf2.String(), buf3.String())
+	}
+}
+
+// TestParserLint pins the strict rules: each malformed document must be
+// rejected.
+func TestParserLint(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":                 "# HELP a A.\n# TYPE a counter\na_total 1\n",
+		"content after EOF":           "# HELP a A.\n# TYPE a counter\na_total 1\n# EOF\nx_total 2\n",
+		"bad family name":             "# HELP 1bad A.\n# TYPE 1bad counter\n1bad_total 1\n# EOF\n",
+		"type before help":            "# TYPE a counter\na_total 1\n# EOF\n",
+		"sample before type":          "# HELP a A.\na_total 1\n# TYPE a counter\n# EOF\n",
+		"unknown type":                "# HELP a A.\n# TYPE a summary\na 1\n# EOF\n",
+		"duplicate family":            "# HELP a A.\n# TYPE a counter\na_total 1\n# HELP a A.\n# TYPE a counter\na_total 2\n# EOF\n",
+		"counter without _total":      "# HELP a A.\n# TYPE a counter\na 1\n# EOF\n",
+		"counter negative":            "# HELP a A.\n# TYPE a counter\na_total -1\n# EOF\n",
+		"counter float":               "# HELP a A.\n# TYPE a counter\na_total 1.5\n# EOF\n",
+		"family without samples":      "# HELP a A.\n# TYPE a counter\n# HELP b B.\n# TYPE b counter\nb_total 1\n# EOF\n",
+		"histogram without +Inf":      "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+		"histogram non-monotone":      "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
+		"histogram descending bounds": "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n",
+		"histogram count mismatch":    "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n# EOF\n",
+		"histogram missing sum":       "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n# EOF\n",
+		"histogram bucket after inf":  "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 2\n# EOF\n",
+		"gauge with exemplar":         "# HELP g G.\n# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n",
+		"blank interior line":         "# HELP a A.\n\n# TYPE a counter\na_total 1\n# EOF\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: parser accepted malformed document:\n%s", name, doc)
+		}
+	}
+}
+
+// TestMergeExact pins federation arithmetic: fleet totals are the exact
+// sums of per-replica values.
+func TestMergeExact(t *testing.T) {
+	mkReplica := func(reqs, errs int64, latencies []float64, inflight float64) telemetry.Export {
+		reg := telemetry.New()
+		reg.Counter("http_diagnose_requests").Add(reqs)
+		reg.Counter("http_diagnose_errors").Add(errs)
+		reg.Gauge("http_inflight").Set(inflight)
+		h := reg.Histogram("http_diagnose_latency_ms", []float64{1, 10, 100})
+		for _, v := range latencies {
+			h.Observe(v)
+		}
+		return reg.Export()
+	}
+	a := mkReplica(100, 5, []float64{0.5, 5, 50}, 2)
+	b := mkReplica(200, 1, []float64{0.7, 500}, 3)
+	c := mkReplica(50, 0, []float64{5, 5, 5}, 1)
+
+	fleet, warnings := MergeExports([]telemetry.Export{a, b, c}, nil)
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	if v, _ := fleet.Counter("http_diagnose_requests"); v != 350 {
+		t.Errorf("requests: got %d, want 350", v)
+	}
+	if v, _ := fleet.Counter("http_diagnose_errors"); v != 6 {
+		t.Errorf("errors: got %d, want 6", v)
+	}
+	// inflight matches the occupancy heuristic, so it sums.
+	if v, _ := fleet.Gauge("http_inflight"); v != 6 {
+		t.Errorf("inflight: got %v, want 6", v)
+	}
+	h, ok := fleet.Histogram("http_diagnose_latency_ms")
+	if !ok {
+		t.Fatalf("merged histogram missing")
+	}
+	if h.Count() != 8 {
+		t.Errorf("count: got %d, want 8", h.Count())
+	}
+	if want := 0.5 + 5 + 50 + 0.7 + 500 + 15; h.Sum != want {
+		t.Errorf("sum: got %v, want %v", h.Sum, want)
+	}
+	wantCum := []int64{2, 6, 7, 8} // ≤1: {0.5,0.7}; ≤10: +{5,5,5,5}; ≤100: +{50}; +Inf: +{500}
+	for i, c := range h.Cumulative {
+		if c != wantCum[i] {
+			t.Errorf("cumulative[%d]: got %d, want %d", i, c, wantCum[i])
+		}
+	}
+}
+
+func TestMergeGaugeAvgAndBoundsMismatch(t *testing.T) {
+	r1 := telemetry.New()
+	r1.Gauge("drift_score").Set(0.2)
+	r1.Histogram("h", []float64{1, 2}).Observe(1)
+	r2 := telemetry.New()
+	r2.Gauge("drift_score").Set(0.4)
+	r2.Histogram("h", []float64{1, 3}).Observe(1)
+
+	fleet, warnings := MergeExports([]telemetry.Export{r1.Export(), r2.Export()}, nil)
+	if v, _ := fleet.Gauge("drift_score"); math.Abs(v-0.3) > 1e-12 {
+		t.Errorf("avg gauge: got %v, want 0.3", v)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "mismatched bounds") {
+		t.Errorf("expected a bounds-mismatch warning, got %v", warnings)
+	}
+	h, _ := fleet.Histogram("h")
+	if h.Count() != 1 {
+		t.Errorf("mismatched replica leaked into merge: count %d", h.Count())
+	}
+}
+
+// TestSLOBurnAndTransitions drives the engine through a healthy phase, an
+// error burst, and recovery, asserting the fast rule fires and clears
+// with transition events.
+func TestSLOBurnAndTransitions(t *testing.T) {
+	var events []AlertEvent
+	rules := []BurnRule{{Name: "fast", Short: 10 * time.Second, Long: 40 * time.Second, Factor: 10, Severity: "page"}}
+	eng := NewSLOEngine(SLOConfig{
+		Objectives: []Objective{{
+			Name: "avail", Goal: 0.99,
+			Requests: "reqs", Errors: "errs",
+		}},
+		Rules:        rules,
+		Registry:     telemetry.New(),
+		OnTransition: func(ev AlertEvent) { events = append(events, ev) },
+	})
+
+	mkExport := func(reqs, errs int64) telemetry.Export {
+		reg := telemetry.New()
+		reg.Counter("reqs").Add(reqs)
+		reg.Counter("errs").Add(errs)
+		return reg.Export()
+	}
+
+	t0 := time.Unix(1_700_000_000, 0)
+	// Healthy traffic: 100 req/s, no errors, for 60s.
+	reqs, errs := int64(0), int64(0)
+	now := t0
+	for i := 0; i < 60; i++ {
+		reqs += 100
+		ex := mkExport(reqs, errs)
+		eng.Observe(now, &ex)
+		now = now.Add(time.Second)
+	}
+	if len(events) != 0 {
+		t.Fatalf("alert fired on healthy traffic: %+v", events)
+	}
+
+	// Burst: 50%% errors. Burn = 0.5/0.01 = 50 ≥ 10 on the short window
+	// quickly; the long window needs enough bad deltas to cross too.
+	for i := 0; i < 30; i++ {
+		reqs += 100
+		errs += 50
+		ex := mkExport(reqs, errs)
+		eng.Observe(now, &ex)
+		now = now.Add(time.Second)
+	}
+	if len(events) == 0 || !events[0].Firing {
+		t.Fatalf("fast rule did not fire during burst: %+v", events)
+	}
+	if events[0].Severity != "page" || events[0].Objective != "avail" {
+		t.Errorf("bad event: %+v", events[0])
+	}
+
+	// Recovery: errors stop; the short window drains and the alert clears.
+	for i := 0; i < 30; i++ {
+		reqs += 100
+		ex := mkExport(reqs, errs)
+		eng.Observe(now, &ex)
+		now = now.Add(time.Second)
+	}
+	last := events[len(events)-1]
+	if last.Firing {
+		t.Fatalf("alert did not clear after recovery: %+v", events)
+	}
+	if len(events) != 2 {
+		t.Errorf("expected exactly fire+clear, got %+v", events)
+	}
+
+	st := eng.Status(now)
+	if len(st) != 1 || len(st[0].Alerts) != 1 {
+		t.Fatalf("status shape: %+v", st)
+	}
+	if st[0].Alerts[0].Firing {
+		t.Errorf("status still firing: %+v", st[0].Alerts[0])
+	}
+	if st[0].BudgetRemaining >= 1 {
+		t.Errorf("budget should be partially spent, got %v", st[0].BudgetRemaining)
+	}
+}
+
+// TestSLOLatencyObjective pins the histogram-threshold split.
+func TestSLOLatencyObjective(t *testing.T) {
+	o := Objective{Name: "lat", Goal: 0.9, Histogram: "h", ThresholdMs: 10}
+	reg := telemetry.New()
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	ex := reg.Export()
+	bad, total, ok := o.counts(&ex)
+	if !ok || total != 4 || bad != 2 {
+		t.Errorf("counts: bad=%d total=%d ok=%v, want 2/4/true", bad, total, ok)
+	}
+}
+
+// TestProfilerCooldownAndRing pins the rate limit (one capture per
+// cooldown) and the bounded on-disk ring.
+func TestProfilerCooldownAndRing(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenProfiler(ProfilerConfig{
+		Dir:         dir,
+		Cooldown:    time.Hour,
+		CPUDuration: 20 * time.Millisecond,
+		MaxCaptures: 2,
+		Registry:    telemetry.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trigger("test-burst") {
+		t.Fatal("first trigger suppressed")
+	}
+	if p.Trigger("test-burst") {
+		t.Fatal("second trigger inside cooldown not suppressed")
+	}
+	waitCaptured(t, p, 1)
+
+	caps := p.List()
+	if caps[0].Reason != "test-burst" {
+		t.Errorf("capture reason: %+v", caps[0])
+	}
+	cpu := filepath.Join(dir, caps[0].ID, caps[0].CPUProfile)
+	heap := filepath.Join(dir, caps[0].ID, caps[0].HeapProfile)
+	for _, f := range []string{cpu, heap} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("profile file %s missing or empty: %v", f, err)
+		}
+	}
+
+	// Force two more captures past the cooldown; the ring keeps 2.
+	for i := 0; i < 2; i++ {
+		p.last.Store(0)
+		if !p.Trigger("again") {
+			t.Fatalf("trigger %d suppressed", i)
+		}
+		waitFor(t, 5*time.Second, func() bool { return !p.capturing.Load() })
+	}
+	if got := len(p.List()); got != 2 {
+		t.Errorf("ring size: got %d, want 2", got)
+	}
+}
+
+func TestProfilerHTTP(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenProfiler(ProfilerConfig{
+		Dir: dir, Cooldown: time.Hour, CPUDuration: 20 * time.Millisecond,
+		Registry: telemetry.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Trigger("http-test")
+	waitCaptured(t, p, 1)
+
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/profiles", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "http-test") {
+		t.Fatalf("list: %d %s", rec.Code, rec.Body.String())
+	}
+	id := p.List()[0].ID
+
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/profiles/"+id+"/heap.pprof", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Errorf("download: %d len=%d", rec.Code, rec.Body.Len())
+	}
+
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/profiles/../../etc/passwd", nil))
+	if rec.Code == http.StatusOK {
+		t.Errorf("path traversal served: %d", rec.Code)
+	}
+}
+
+// TestInstrument pins that the wrapper records into the given registry,
+// not the process default.
+func TestInstrument(t *testing.T) {
+	reg := telemetry.New()
+	h := Instrument(reg, "diagnose", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ex := reg.Export()
+	if v, _ := ex.Counter("http.diagnose.requests"); v != 4 {
+		t.Errorf("requests: got %d, want 4", v)
+	}
+	if v, _ := ex.Counter("http.diagnose.errors"); v != 1 {
+		t.Errorf("errors: got %d, want 1", v)
+	}
+	hp, ok := ex.Histogram("http.diagnose.latency_ms")
+	if !ok || hp.Count() != 4 {
+		t.Errorf("latency histogram: ok=%v count=%d", ok, hp.Count())
+	}
+}
+
+func TestExpositionHandlerAndNegotiation(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("a.b").Add(1)
+	srv := httptest.NewServer(ExpositionHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Errorf("content type: %q", got)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(buf.Bytes()); err != nil {
+		t.Errorf("self-scrape fails lint: %v\n%s", err, buf.String())
+	}
+}
+
+// waitCaptured blocks until n captures have fully finished (metadata and
+// profile files on disk, no capture in flight).
+func waitCaptured(t *testing.T, p *Profiler, n int) {
+	t.Helper()
+	waitFor(t, 5*time.Second, func() bool {
+		if p.capturing.Load() {
+			return false
+		}
+		caps := p.List()
+		if len(caps) != n {
+			return false
+		}
+		for _, c := range caps {
+			if c.CPUProfile == "" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not met within %v", timeout)
+}

@@ -148,6 +148,34 @@ func (h *Histogram) observe(v float64) int {
 // Count returns how many values were observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the running sum of observed values. Like Snapshot, a
+// histogram with zero completed observations reports 0 (a racing Observe
+// may have CAS-ed the sum before its bucket count landed).
+func (h *Histogram) Sum() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the histogram's finite upper bounds (a copy).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative bucket counts: Cumulative()[i] is the
+// number of observations ≤ Bounds()[i], and the final element (the +Inf
+// bucket) is the total count. Prometheus exposition and the fleet
+// federation merge both consume this form — cumulative counts over shared
+// fixed bounds merge exactly by element-wise addition.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
 // HistogramSnapshot is a consistent-enough point-in-time view of a
 // histogram: totals plus interpolated percentiles. A histogram with zero
 // observations reports the documented sentinel 0 for Sum, Mean and every
@@ -323,7 +351,9 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value. The maps marshal to
+// JSON with sorted keys (encoding/json sorts map keys), so two snapshots
+// of the same state are byte-identical — pinned by TestSnapshotDeterministic.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -342,4 +372,144 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = h.Snapshot()
 	}
 	return s
+}
+
+// CounterPoint is one counter's exported value.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge's exported value.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram's full exported state: finite upper
+// bounds plus cumulative counts (the final element is the +Inf bucket,
+// i.e. the total count). Unlike HistogramSnapshot it carries enough to
+// re-derive any quantile — and to merge exactly across processes, because
+// every DiagNet histogram of a given name shares the same fixed bounds.
+type HistogramPoint struct {
+	Name       string    `json:"name"`
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []int64   `json:"cumulative"` // len(Bounds)+1; last = Count
+	Sum        float64   `json:"sum"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"` // tail exemplar
+}
+
+// Count returns the total observation count (the +Inf bucket).
+func (p *HistogramPoint) Count() int64 {
+	if len(p.Cumulative) == 0 {
+		return 0
+	}
+	return p.Cumulative[len(p.Cumulative)-1]
+}
+
+// Quantile interpolates the q-quantile from the cumulative buckets, with
+// the same semantics as Histogram.Snapshot: linear interpolation inside
+// the bucket, overflow saturates at the last finite bound, and an empty
+// histogram reports the 0 sentinel.
+func (p *HistogramPoint) Quantile(q float64) float64 {
+	total := p.Count()
+	if total <= 0 || len(p.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var prev int64
+	for i, cum := range p.Cumulative {
+		c := cum - prev
+		prev = cum
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(p.Bounds) {
+			return p.Bounds[len(p.Bounds)-1] // overflow: saturate at the last bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = p.Bounds[i-1]
+		}
+		hi := p.Bounds[i]
+		frac := (rank - float64(cum-c)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return p.Bounds[len(p.Bounds)-1]
+}
+
+// Export is the deterministic, exposition-grade view of a registry: every
+// slice is sorted by metric name and histograms carry their full bucket
+// state. The Prometheus exposition writer, the fleet federation merge and
+// the SLO engine all consume this form (internal/obs).
+type Export struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Counter returns the named counter's value.
+func (e *Export) Counter(name string) (int64, bool) {
+	for i := range e.Counters {
+		if e.Counters[i].Name == name {
+			return e.Counters[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value.
+func (e *Export) Gauge(name string) (float64, bool) {
+	for i := range e.Gauges {
+		if e.Gauges[i].Name == name {
+			return e.Gauges[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram point.
+func (e *Export) Histogram(name string) (*HistogramPoint, bool) {
+	for i := range e.Histograms {
+		if e.Histograms[i].Name == name {
+			return &e.Histograms[i], true
+		}
+	}
+	return nil, false
+}
+
+// Export captures every metric with full histogram bucket state, sorted
+// by name (deterministic across calls and processes — no snapshot-diff
+// churn, and a stable exposition ordering for scrapers).
+func (r *Registry) Export() Export {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := Export{
+		Counters:   make([]CounterPoint, 0, len(r.counters)),
+		Gauges:     make([]GaugePoint, 0, len(r.gauges)),
+		Histograms: make([]HistogramPoint, 0, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		e.Counters = append(e.Counters, CounterPoint{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		e.Gauges = append(e.Gauges, GaugePoint{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		p := HistogramPoint{
+			Name:       name,
+			Bounds:     h.Bounds(),
+			Cumulative: h.Cumulative(),
+			Sum:        h.Sum(),
+		}
+		p.Exemplar = h.Snapshot().Exemplar
+		e.Histograms = append(e.Histograms, p)
+	}
+	sort.Slice(e.Counters, func(i, j int) bool { return e.Counters[i].Name < e.Counters[j].Name })
+	sort.Slice(e.Gauges, func(i, j int) bool { return e.Gauges[i].Name < e.Gauges[j].Name })
+	sort.Slice(e.Histograms, func(i, j int) bool { return e.Histograms[i].Name < e.Histograms[j].Name })
+	return e
 }

@@ -288,3 +288,136 @@ func TestDoneExemplar(t *testing.T) {
 		t.Fatal("nil clock observed")
 	}
 }
+
+// TestHistogramSum pins the Sum accessor: running total of observed
+// values, with the zero-observation sentinel shared with Snapshot.
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Sum() != 0 {
+		t.Fatalf("empty sum = %v, want 0", h.Sum())
+	}
+	h.Observe(1.5)
+	h.Observe(2.25)
+	h.Observe(0.25)
+	if got := h.Sum(); got != 4.0 {
+		t.Fatalf("Sum = %v, want 4", got)
+	}
+	if s := h.Snapshot(); s.Sum != h.Sum() {
+		t.Fatalf("Snapshot.Sum %v != Sum() %v", s.Sum, h.Sum())
+	}
+}
+
+// TestHistogramCumulative pins the cumulative bucket view: monotone
+// non-decreasing, final element equal to the total count.
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []int64{2, 3, 4, 6} // ≤1, ≤10, ≤100, +Inf
+	if len(cum) != len(want) {
+		t.Fatalf("cumulative len = %d, want %d", len(cum), len(want))
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], want[i], cum)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] != h.Count() {
+		t.Fatalf("terminal bucket %d != count %d", cum[len(cum)-1], h.Count())
+	}
+}
+
+// TestRegistryExportDeterministic pins the Export ordering contract:
+// sorted by metric name, stable across calls — the exposition and the
+// fleet merge both key on it, and snapshot-diff tests stop churning.
+func TestRegistryExportDeterministic(t *testing.T) {
+	r := New()
+	for _, n := range []string{"zz.last", "aa.first", "mm.middle"} {
+		r.Counter(n).Inc()
+		r.Gauge("g." + n).Set(1)
+		r.Histogram("h."+n, nil).Observe(1)
+	}
+	e := r.Export()
+	for i := 1; i < len(e.Counters); i++ {
+		if e.Counters[i-1].Name >= e.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q >= %q", e.Counters[i-1].Name, e.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(e.Gauges); i++ {
+		if e.Gauges[i-1].Name >= e.Gauges[i].Name {
+			t.Fatalf("gauges not sorted: %q >= %q", e.Gauges[i-1].Name, e.Gauges[i].Name)
+		}
+	}
+	for i := 1; i < len(e.Histograms); i++ {
+		if e.Histograms[i-1].Name >= e.Histograms[i].Name {
+			t.Fatalf("histograms not sorted: %q >= %q", e.Histograms[i-1].Name, e.Histograms[i].Name)
+		}
+	}
+	a, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two exports of the same state differ")
+	}
+}
+
+// TestSnapshotDeterministic pins that the JSON wire form of Snapshot is
+// byte-stable for identical registry state (map keys sort in
+// encoding/json) — older tooling diffs snapshots and must not churn.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Inc()
+	r.Histogram("h.lat", nil).Observe(3)
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestHistogramPointQuantile pins that the exported cumulative form
+// reproduces the live histogram's interpolated quantiles exactly.
+func TestHistogramPointQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q.lat", nil)
+	vals := []float64{0.2, 0.4, 3, 7, 40, 90, 900, 20000, 999999}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	e := r.Export()
+	p, ok := e.Histogram("q.lat")
+	if !ok {
+		t.Fatal("histogram missing from export")
+	}
+	s := h.Snapshot()
+	for _, q := range []struct {
+		q    float64
+		want float64
+	}{{0.50, s.P50}, {0.90, s.P90}, {0.99, s.P99}} {
+		if got := p.Quantile(q.q); got != q.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q.q, got, q.want)
+		}
+	}
+	if p.Count() != s.Count || p.Sum != s.Sum {
+		t.Fatalf("count/sum mismatch: point %d/%v snapshot %d/%v", p.Count(), p.Sum, s.Count, s.Sum)
+	}
+}
