@@ -51,6 +51,7 @@ func run(out io.Writer) error {
 
 	// Serve it as the central analysis service.
 	srv := analysis.NewServer(res.Model)
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := analysis.NewClient(ts.URL)

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the smoke test if the example leaves a goroutine behind
+// after run() returns — examples double as lifecycle regression tests.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

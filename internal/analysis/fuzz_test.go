@@ -4,23 +4,18 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 )
 
-// fuzzHandler lazily builds one shared Server handler for in-process fuzz
-// targets (no TCP listener, so executions are cheap).
-var (
-	fuzzHandlerOnce sync.Once
-	fuzzHandler     http.Handler
-)
-
-func sharedFuzzHandler() http.Handler {
-	fuzzHandlerOnce.Do(func() {
-		m, _ := buildFixture()
-		fuzzHandler = NewServer(m).Handler()
-	})
-	return fuzzHandler
+// fuzzHandler builds one Server handler per fuzz target (no TCP listener,
+// so executions are cheap; the model itself is the cached fixture) and
+// closes it with the target so its engine workers don't outlive the run —
+// the package's leak check would flag them.
+func fuzzHandler(f *testing.F) http.Handler {
+	m, _ := buildFixture()
+	srv := NewServer(m)
+	f.Cleanup(func() { srv.Close() })
+	return srv.Handler()
 }
 
 // FuzzHandleDiagnose drives the single-diagnosis JSON decode path directly
@@ -38,8 +33,8 @@ func FuzzHandleDiagnose(f *testing.F) {
 	f.Add(`[]`)
 	f.Add(``)
 
+	h := fuzzHandler(f)
 	f.Fuzz(func(t *testing.T, body string) {
-		h := sharedFuzzHandler()
 		req := httptest.NewRequest(http.MethodPost, "/v1/diagnose", strings.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
 		rec := httptest.NewRecorder()
@@ -61,8 +56,8 @@ func FuzzHandleBatch(f *testing.F) {
 	f.Add(`{"requests": 7}`)
 	f.Add(`{`)
 
+	h := fuzzHandler(f)
 	f.Fuzz(func(t *testing.T, body string) {
-		h := sharedFuzzHandler()
 		req := httptest.NewRequest(http.MethodPost, "/v1/diagnose-batch", strings.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
 		rec := httptest.NewRecorder()
@@ -82,18 +77,26 @@ func FuzzDiagnoseHTTP(f *testing.F) {
 	f.Add(`{"landmarks":[0,1,2],"features":[1]}`)
 	f.Add(`{"service_id":-5,"landmarks":[99],"features":null}`)
 
-	// One shared tiny model for all fuzz executions.
-	var ts *httptest.Server
+	// One shared tiny model for all fuzz executions; the Server (not just
+	// the listener) is closed so its engine drains.
+	var (
+		ts  *httptest.Server
+		srv *Server
+	)
 	f.Cleanup(func() {
 		if ts != nil {
 			ts.Close()
+		}
+		if srv != nil {
+			srv.Close()
 		}
 	})
 
 	f.Fuzz(func(t *testing.T, body string) {
 		if ts == nil {
 			m, _ := buildFixture()
-			ts = httptest.NewServer(NewServer(m).Handler())
+			srv = NewServer(m)
+			ts = httptest.NewServer(srv.Handler())
 		}
 		resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json", strings.NewReader(body))
 		if err != nil {

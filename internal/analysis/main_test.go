@@ -1,0 +1,13 @@
+package analysis
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// servers and their engines must drain fully on Close.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

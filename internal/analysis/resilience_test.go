@@ -55,6 +55,7 @@ func TestRequestBodyLimit(t *testing.T) {
 func TestClientRetriesTransientServerErrors(t *testing.T) {
 	m, _ := buildFixture()
 	srv := NewServer(m)
+	defer srv.Close()
 	inner := srv.Handler()
 	var calls atomic.Int64
 	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +111,7 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 func TestClientReusesKeepAliveConnections(t *testing.T) {
 	m, _ := buildFixture()
 	srv := NewServer(m)
+	defer srv.Close()
 	ts := httptest.NewUnstartedServer(srv.Handler())
 	var opened atomic.Int64
 	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {

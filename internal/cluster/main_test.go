@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// routers, pools and replica fixtures must all tear down cleanly.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

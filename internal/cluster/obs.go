@@ -4,6 +4,7 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"diagnet/internal/obs"
@@ -60,8 +61,9 @@ type routerObs struct {
 	// delta distribution since the previous sweep, not the lifetime one.
 	prevLat *telemetry.HistogramPoint
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // newRouterObs wires the observability plane over the pool; returns nil
@@ -178,9 +180,17 @@ func (ro *routerObs) checkBreach(fleet *telemetry.Export) {
 	}
 }
 
+// close stops the federation loop and releases the plane's resources, in
+// dependency order: loop first (nothing sweeps anymore), then the
+// profiler (awaits an in-flight capture), then the federator's idle
+// scrape connections. Idempotent — Router.Close may run more than once.
 func (ro *routerObs) close() {
-	close(ro.stop)
+	ro.stopOnce.Do(func() { close(ro.stop) })
 	<-ro.done
+	if ro.profiler != nil {
+		ro.profiler.Close()
+	}
+	ro.fed.Close()
 }
 
 // handleFleetMetrics serves GET /v1/fleet/metrics (404 when federation is

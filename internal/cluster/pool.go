@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"hash/fnv"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -49,10 +50,12 @@ func NewPool(urls []string, cfg Config) *Pool {
 	return p
 }
 
-// Close stops the health sweeper.
+// Close stops the health sweeper and releases the probe client's idle
+// connections. Idempotent.
 func (p *Pool) Close() {
 	p.stopOnce.Do(func() { close(p.stop) })
 	p.wg.Wait()
+	p.client.CloseIdleConnections()
 }
 
 // Replicas returns the pool members (fixed at construction).
@@ -132,6 +135,10 @@ func (p *Pool) check(ctx context.Context, r *Replica) bool {
 	if err != nil {
 		return false
 	}
+	// Drain before Close: an unread body (the 503's error text, say) makes
+	// the transport discard the connection instead of returning it to the
+	// keep-alive pool — at sweep cadence that is a steady TIME_WAIT leak.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 	resp.Body.Close()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		// Seed the latency EWMA so a replica that was idle since boot still

@@ -88,13 +88,17 @@ func NewRouter(urls []string, cfg Config) *Router {
 	return rt
 }
 
-// Close stops the health sweeper and the federation loop. In-flight
-// requests finish on their own contexts.
+// Close stops the observability plane, then the health sweeper, then
+// releases the shared transport's idle upstream connections. In-flight
+// requests finish on their own contexts. Idempotent.
 func (rt *Router) Close() {
 	if rt.obs != nil {
 		rt.obs.close()
 	}
 	rt.pool.Close()
+	if tr, ok := rt.cfg.Transport.(interface{ CloseIdleConnections() }); ok {
+		tr.CloseIdleConnections()
+	}
 }
 
 // Pool exposes the replica pool (status, tests).
@@ -318,7 +322,13 @@ func (rt *Router) attempt(ctx context.Context, rep *Replica, method, path string
 		ch <- out
 		return
 	}
-	defer resp.Body.Close()
+	// Bounded tail drain before Close: readResponse may stop short of EOF
+	// (Content-Length fast path, maxBody cap), and an undrained body costs
+	// the keep-alive connection on every proxied request.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 32<<10))
+		resp.Body.Close()
+	}()
 	out.status = resp.StatusCode
 	out.header = resp.Header
 	if out.body, err = readResponse(resp); err != nil {

@@ -214,6 +214,7 @@ type Controller struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	started bool
+	stopped bool // Close ran: the journal is gone, Start must stay a no-op
 }
 
 // NewController builds a Controller, replaying the transition journal in
@@ -266,11 +267,12 @@ func NewController(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// Start launches the control loop.
+// Start launches the control loop. Idempotent; a no-op after Close (the
+// journal is released — a restarted loop would write into a closed file).
 func (c *Controller) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
+	if c.started || c.stopped {
 		return
 	}
 	c.started = true
@@ -280,11 +282,12 @@ func (c *Controller) Start() {
 }
 
 // Close stops the loop (canceling any in-flight retrain) and releases the
-// journal.
+// journal. Idempotent, and permanent: Start after Close stays stopped.
 func (c *Controller) Close() error {
 	c.mu.Lock()
 	started := c.started
 	c.started = false
+	c.stopped = true
 	c.mu.Unlock()
 	if started {
 		c.cancel()
@@ -576,11 +579,24 @@ func (c *Controller) awaitShadow(eval *ShadowEvaluator) {
 	if poll > 20*time.Millisecond {
 		poll = 20 * time.Millisecond
 	}
+	// Reused timer: time.After per iteration would pile up uncollected
+	// timers at this poll rate (50 per second per shadowing cycle).
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for eval.Samples() < c.gate.MinShadowSamples && c.cfg.Now().Before(deadline) {
+		if timer == nil {
+			timer = time.NewTimer(poll)
+		} else {
+			timer.Reset(poll)
+		}
 		select {
 		case <-c.ctx.Done():
 			return
-		case <-time.After(poll):
+		case <-timer.C:
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package continual
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestController builds a journaled controller over the shared fixture
+// engine with a trainer that never succeeds (lifecycle tests exercise
+// Start/Close ordering, not training).
+func newTestController(t *testing.T, dir string) *Controller {
+	t.Helper()
+	e := loopEngine(t)
+	_, d := fixture(t)
+	store := storeFromDataset(t, d, true, 32)
+	t.Cleanup(func() { store.Close() })
+	c, err := NewController(Config{
+		Engine: e,
+		Store:  store,
+		TrainFunc: func(ctx context.Context) (*TrainOutcome, error) {
+			return nil, context.DeadlineExceeded
+		},
+		CheckInterval: 5 * time.Millisecond,
+		MinSamples:    16,
+		StateDir:      dir,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestControllerStartAfterClose pins the stopped-is-permanent contract:
+// Close releases the transition journal, so a later Start must stay a
+// no-op instead of restarting the loop over a closed file (the old
+// behavior wrote every subsequent transition into a closed journal).
+func TestControllerStartAfterClose(t *testing.T) {
+	c := newTestController(t, t.TempDir())
+
+	c.Start()
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close must stay nil, got %v", err)
+	}
+
+	c.Start() // must not relaunch the loop
+	if err := c.TriggerRetrain("post-close"); err == nil {
+		t.Fatal("TriggerRetrain succeeded after Close; the loop restarted over a closed journal")
+	} else if !strings.Contains(err.Error(), "not running") {
+		t.Fatalf("unexpected trigger error: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after no-op Start: %v", err)
+	}
+}
+
+// TestControllerCloseBeforeStart pins Stop-before-Start: closing a
+// controller that never ran must release the journal cleanly and leave
+// Start a no-op.
+func TestControllerCloseBeforeStart(t *testing.T) {
+	c := newTestController(t, t.TempDir())
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close before Start: %v", err)
+	}
+	c.Start()
+	if err := c.TriggerRetrain("never-started"); err == nil {
+		t.Fatal("controller ran after Close-before-Start")
+	}
+}

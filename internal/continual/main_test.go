@@ -1,0 +1,13 @@
+package continual
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// controllers, trainers and shadow evaluators must all stop cleanly.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -8,13 +8,13 @@ package continual
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
 	"diagnet/internal/dataset"
 	"diagnet/internal/durable"
 	"diagnet/internal/probe"
+	"diagnet/internal/stats"
 )
 
 // Sample is one live observation offered to the training buffer. Features
@@ -88,9 +88,12 @@ func (c StoreConfig) withDefaults() StoreConfig {
 // dominant fault family cannot wash out the rest of the distribution.
 // All methods are safe for concurrent use.
 type SampleStore struct {
-	mu      sync.Mutex
-	cfg     StoreConfig
-	rng     *rand.Rand
+	mu  sync.Mutex
+	cfg StoreConfig
+	// rng is the store's own locked, seedable source (same raw sequence as
+	// the old bare rand.Rand, so journaled replays stay compatible): the
+	// reservoir's draws must not interleave with any other component's.
+	rng     *stats.LockedRand
 	strata  map[stratumKey]*stratum
 	jn      *durable.Journal
 	total   int   // samples currently held
@@ -104,7 +107,7 @@ func OpenStore(cfg StoreConfig) (*SampleStore, error) {
 	cfg = cfg.withDefaults()
 	s := &SampleStore{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    stats.NewLocked(cfg.Seed),
 		strata: make(map[stratumKey]*stratum),
 	}
 	if cfg.Dir == "" {
@@ -283,7 +286,7 @@ func (s *SampleStore) Export(full probe.Layout, holdoutFrac float64, seed int64)
 	defer s.mu.Unlock()
 	train = &dataset.Dataset{Layout: full}
 	holdout = &dataset.Dataset{Layout: full}
-	rng := rand.New(rand.NewSource(seed))
+	rng := stats.NewLocked(seed)
 	for _, key := range s.sortedKeys() {
 		for _, smp := range s.strata[key].samples {
 			ds := liftSample(smp, full)

@@ -132,16 +132,30 @@ func (t *Trainer) waitForCapacity(ctx context.Context) error {
 		return ctx.Err()
 	}
 	paused := false
+	// One reused timer for the whole pause: time.After inside the loop
+	// would allocate a timer per poll that only frees when it fires —
+	// counted as growth by leakcheck under fast poll intervals.
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for t.cfg.Load() > t.cfg.PauseAbove {
 		if !paused {
 			paused = true
 			mTrainPauses.Inc()
 			t.logf("continual: trainer paused (serving load %.2f > %.2f)", t.cfg.Load(), t.cfg.PauseAbove)
 		}
+		if timer == nil {
+			timer = time.NewTimer(t.cfg.PausePoll)
+		} else {
+			timer.Reset(t.cfg.PausePoll)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(t.cfg.PausePoll):
+		case <-timer.C:
 		}
 	}
 	if paused {

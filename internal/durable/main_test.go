@@ -1,0 +1,14 @@
+package durable
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// journals and queues own no goroutines, so anything found is a bug in
+// a test's cleanup or a crash-injection path that skipped teardown.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,12 +1,13 @@
 package landmark
 
 import (
-	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"diagnet/internal/stats"
 )
 
 // FlakyConfig describes the fault mix a FlakyHandler injects. The rates
@@ -39,7 +40,10 @@ type FlakyHandler struct {
 
 	mu  sync.Mutex
 	cfg FlakyConfig
-	rng *rand.Rand
+	// rng is a per-handler locked source: concurrent requests draw from
+	// this handler's own deterministic sequence, never the global one, so
+	// a seeded chaos run replays regardless of what else the process does.
+	rng *stats.LockedRand
 
 	served   atomic.Int64 // requests passed through unharmed
 	injected atomic.Int64 // requests that got a fault
@@ -51,7 +55,7 @@ func NewFlakyHandler(inner http.Handler, cfg FlakyConfig) *FlakyHandler {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &FlakyHandler{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &FlakyHandler{inner: inner, cfg: cfg, rng: stats.NewLocked(seed)}
 }
 
 // SetConfig replaces the fault mix (e.g. to heal a landmark mid-test).
@@ -133,9 +137,14 @@ func (f *FlakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	case faultLatency:
 		f.injected.Add(1)
+		// Stoppable timer: with time.After, a client that gives up early
+		// leaves the timer allocated until the full delay elapses — under
+		// chaos soak cadence that is thousands of live timers.
+		timer := time.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-timer.C:
 		case <-r.Context().Done():
+			timer.Stop()
 			return
 		}
 		f.inner.ServeHTTP(w, r)

@@ -69,7 +69,15 @@ func NewFederator(cfg FederatorConfig) *Federator {
 		cfg.Timeout = 2 * time.Second
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: cfg.Timeout}
+		// Private transport: scrape keep-alives must not pile up in (or
+		// outlive the federator on) the process-global DefaultTransport —
+		// leak checks over a closed federator would see its idle conns.
+		tr, _ := http.DefaultTransport.(*http.Transport)
+		if tr != nil {
+			tr = tr.Clone()
+			tr.MaxIdleConnsPerHost = 4
+		}
+		cfg.Client = &http.Client{Timeout: cfg.Timeout, Transport: tr}
 	}
 	if cfg.Path == "" {
 		cfg.Path = "/metrics"
@@ -141,7 +149,14 @@ func (f *Federator) scrape(ctx context.Context, base string) ReplicaMetrics {
 		rm.Error = err.Error()
 		return rm
 	}
-	defer resp.Body.Close()
+	// Drain every exit path (error status, parse failure, oversized body
+	// tail) before Close, so the scrape connection goes back to the
+	// keep-alive pool — a federator re-dialing per sweep leaks sockets
+	// into TIME_WAIT at exactly the cadence it scrapes.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		rm.Error = fmt.Sprintf("status %d", resp.StatusCode)
 		return rm
@@ -158,6 +173,12 @@ func (f *Federator) scrape(ctx context.Context, base string) ReplicaMetrics {
 	}
 	rm.Export = ex
 	return rm
+}
+
+// Close releases the federator's idle scrape connections. Idempotent;
+// the caller must have stopped driving Sweep first.
+func (f *Federator) Close() {
+	f.cfg.Client.CloseIdleConnections()
 }
 
 // View returns the latest fleet view; ok is false before the first sweep

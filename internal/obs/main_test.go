@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"testing"
+
+	"diagnet/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// federators, profilers and SLO engines must release everything on Close.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

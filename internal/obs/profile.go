@@ -53,6 +53,13 @@ type Profiler struct {
 	capturing atomic.Bool
 	last      atomic.Int64 // unix nanos of last capture start
 
+	// closed gates Trigger; stop interrupts an in-flight capture's CPU
+	// window; wg awaits the capture goroutine so Close never strands it.
+	closed    atomic.Bool
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
 	mu sync.Mutex // serializes ring mutation
 }
 
@@ -81,7 +88,19 @@ func OpenProfiler(cfg ProfilerConfig) (*Profiler, error) {
 		cfg:      cfg,
 		captures: reg.Counter("obs.profiles.captured"),
 		suppress: reg.Counter("obs.profiles.suppressed"),
+		stop:     make(chan struct{}),
 	}, nil
+}
+
+// Close stops the profiler: new triggers are refused and any in-flight
+// capture is interrupted (its CPU window is cut short, the pair is still
+// written) and awaited. Idempotent.
+func (p *Profiler) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		close(p.stop)
+	})
+	p.wg.Wait()
 }
 
 // Trigger requests a capture for the given reason. It returns immediately:
@@ -89,6 +108,10 @@ func OpenProfiler(cfg ProfilerConfig) (*Profiler, error) {
 // CPUDuration). Returns true if a capture was started, false if it was
 // suppressed by the cooldown or an in-flight capture.
 func (p *Profiler) Trigger(reason string) bool {
+	if p.closed.Load() {
+		p.suppress.Inc()
+		return false
+	}
 	now := time.Now()
 	last := p.last.Load()
 	if last != 0 && now.Sub(time.Unix(0, last)) < p.cfg.Cooldown {
@@ -103,7 +126,9 @@ func (p *Profiler) Trigger(reason string) bool {
 		p.suppress.Inc()
 		return false
 	}
+	p.wg.Add(1)
 	go func() {
+		defer p.wg.Done()
 		defer p.capturing.Store(false)
 		p.capture(now, reason)
 	}()
@@ -127,7 +152,13 @@ func (p *Profiler) capture(now time.Time, reason string) {
 
 	if f, err := os.Create(filepath.Join(dir, meta.CPUProfile)); err == nil {
 		if err := pprof.StartCPUProfile(f); err == nil {
-			time.Sleep(p.cfg.CPUDuration)
+			// Interruptible CPU window: Close must not wait out a 5s sleep.
+			t := time.NewTimer(p.cfg.CPUDuration)
+			select {
+			case <-t.C:
+			case <-p.stop:
+				t.Stop()
+			}
 			pprof.StopCPUProfile()
 		}
 		f.Close()

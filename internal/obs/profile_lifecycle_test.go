@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfilerCloseAwaitsInFlightCapture pins the awaited-shutdown
+// contract: Close must interrupt a capture mid-CPU-window (not wait out
+// its full duration), block until the capture goroutine exits, and refuse
+// later triggers. Before Profiler gained Close, the capture goroutine was
+// spawned unawaited — a shutdown during its 5s CPU window stranded it,
+// and every e2e suite that tripped an SLO alert leaked it.
+func TestProfilerCloseAwaitsInFlightCapture(t *testing.T) {
+	p, err := OpenProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: 30 * time.Second, // Close must not wait this out
+		Cooldown:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trigger("lifecycle-test") {
+		t.Fatal("trigger suppressed on a fresh profiler")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not interrupt the in-flight capture")
+	}
+
+	// After Close the goroutine is gone (the package leak check verifies),
+	// the interrupted capture was still written, and triggers are refused.
+	if got := p.List(); len(got) != 1 {
+		t.Fatalf("%d captures after interrupted Close, want 1", len(got))
+	}
+	if p.Trigger("post-close") {
+		t.Fatal("Trigger accepted after Close")
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,120 @@
+package soak
+
+import (
+	"time"
+
+	"diagnet/internal/stats"
+)
+
+// EventKind names one scripted chaos action.
+type EventKind string
+
+const (
+	// EvKill abruptly closes a replica's listener (crash). The schedule
+	// never kills replica 0 (the continual plane lives there) and never
+	// kills a replica that is already down, so the fleet always has
+	// capacity and a client-visible 5xx is a real bug, not scheduling.
+	EvKill EventKind = "kill"
+	// EvRestart brings a killed replica back on its stable address,
+	// draining the old engine and replaying its journal (recovery).
+	EvRestart EventKind = "restart"
+	// EvCheckpoint runs the replica's state checkpoint — what diagnetd's
+	// SIGHUP handler calls.
+	EvCheckpoint EventKind = "checkpoint"
+	// EvCrashJournal arms a durable crash point, takes the injected crash
+	// on a scratch journal, then reopens and replays it — recovery must
+	// be clean every time.
+	EvCrashJournal EventKind = "crash-journal"
+	// EvRetrain asks the continual controller for a cycle (drift-style
+	// trigger). Refused mid-cycle; that is fine — the point is poking the
+	// state machine from outside at arbitrary moments.
+	EvRetrain EventKind = "retrain"
+	// EvFleetCheck fetches the router's federated fleet view and records
+	// whether it answered.
+	EvFleetCheck EventKind = "fleet-check"
+)
+
+// Event is one scheduled action.
+type Event struct {
+	// At is the offset from soak start.
+	At time.Duration `json:"at_ms"`
+	// Kind is the action.
+	Kind EventKind `json:"kind"`
+	// Target is the replica index for kill/restart/checkpoint (-1 when
+	// not applicable).
+	Target int `json:"target"`
+}
+
+// crashSites is the rotation of injected crash points for EvCrashJournal.
+var crashSites = []string{"mid-append", "pre-sync", "post-sync"}
+
+// BuildSchedule generates the full event schedule for a run as a pure
+// function of (seed, duration, replicas): the same inputs always yield
+// the same schedule, so a failing soak replays exactly. Kill targets are
+// drawn only from replicas 1..n-1 that the schedule itself has not left
+// down, and every kill's restart is scheduled before the next event draw,
+// so capacity tracking needs no runtime coordination.
+func BuildSchedule(seed int64, duration time.Duration, replicas int, step time.Duration) []Event {
+	if step <= 0 {
+		step = 250 * time.Millisecond
+	}
+	rng := stats.NewLockedStream(seed, 0xC0DE)
+	downUntil := make([]time.Duration, replicas) // replica i is down until this offset
+	var events []Event
+
+	// Leave a settle window at both ends: the first moments establish the
+	// goroutine baseline, the last must let in-flight chaos finish before
+	// teardown asserts invariants.
+	settle := duration / 10
+	if settle > 2*time.Second {
+		settle = 2 * time.Second
+	}
+	for at := settle; at < duration-settle; at += step {
+		// Deterministic jitter keeps events off exact multiples so they
+		// interleave differently with timers at different seeds.
+		jitter := time.Duration(rng.Int63() % int64(step/4))
+		t := at + jitter
+		switch p := rng.Float64(); {
+		case p < 0.25 && replicas > 2:
+			// Kill one of the disposable replicas, restart it well before
+			// the end of the window.
+			candidates := make([]int, 0, replicas)
+			for i := 1; i < replicas; i++ {
+				if downUntil[i] <= t {
+					candidates = append(candidates, i)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			victim := candidates[rng.Intn(len(candidates))]
+			events = append(events, Event{At: t, Kind: EvKill, Target: victim})
+			back := t + step + time.Duration(rng.Int63()%int64(step))
+			if back >= duration-settle {
+				back = duration - settle
+			}
+			events = append(events, Event{At: back, Kind: EvRestart, Target: victim})
+			downUntil[victim] = back
+		case p < 0.45:
+			events = append(events, Event{At: t, Kind: EvCheckpoint, Target: rng.Intn(replicas)})
+		case p < 0.60:
+			events = append(events, Event{At: t, Kind: EvCrashJournal, Target: -1})
+		case p < 0.80:
+			events = append(events, Event{At: t, Kind: EvRetrain, Target: -1})
+		default:
+			events = append(events, Event{At: t, Kind: EvFleetCheck, Target: -1})
+		}
+	}
+	// Restore strict time order (restarts were appended out of order).
+	sortEvents(events)
+	return events
+}
+
+// sortEvents orders by At, stable for equal times (insertion order).
+func sortEvents(events []Event) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}

@@ -27,11 +27,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"diagnet/internal/stats"
 	"diagnet/internal/telemetry"
 )
 
@@ -141,12 +141,25 @@ func SetEnabled(on bool) { std.SetEnabled(on) }
 // Configure tunes the process-wide tracer.
 func Configure(cfg Config) { std.Configure(cfg) }
 
+// idRand generates trace and span IDs from a private locked source
+// instead of the global math/rand one: ID draws interleaved with other
+// components' global draws would shift every seeded sequence in the
+// process, so a deterministic soak run could never replay. Randomly
+// seeded at init; SeedIDs pins it for reproducible runs.
+var idRand = stats.NewLocked(time.Now().UnixNano())
+
+// SeedIDs makes trace/span ID generation deterministic from the given
+// seed — for seeded soak and replay runs where the whole process must be
+// reproducible. IDs from one process are then only unique relative to
+// that seed; production keeps the random default.
+func SeedIDs(seed int64) { idRand.Reseed(seed) }
+
 // newTraceID draws a random non-zero 16-byte trace ID.
 func newTraceID() [16]byte {
 	var id [16]byte
 	for {
-		binary.BigEndian.PutUint64(id[:8], rand.Uint64())
-		binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+		binary.BigEndian.PutUint64(id[:8], idRand.Uint64())
+		binary.BigEndian.PutUint64(id[8:], idRand.Uint64())
 		if id != ([16]byte{}) {
 			return id
 		}
@@ -157,7 +170,7 @@ func newTraceID() [16]byte {
 func newSpanID() string {
 	var id [8]byte
 	for {
-		binary.BigEndian.PutUint64(id[:], rand.Uint64())
+		binary.BigEndian.PutUint64(id[:], idRand.Uint64())
 		if id != ([8]byte{}) {
 			return hex.EncodeToString(id[:])
 		}
